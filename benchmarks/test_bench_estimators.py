@@ -1,0 +1,46 @@
+"""A5 — estimator-quality benches.
+
+The paper defers estimator accuracy to [HoOT 88]/[HouO 88]; these benches
+reproduce the claims the time-control work rests on: the point-space COUNT
+estimator is consistent (error shrinks with the sample fraction) across all
+three workloads, and the revised Goodman estimator beats the raw observed
+distinct count on a skewed projection.
+"""
+
+from benchmarks.conftest import render
+from repro.experiments.ablations import (
+    ablation_distinct_estimators,
+    ablation_estimator_quality,
+)
+
+
+def test_estimator_consistency(benchmark):
+    table = benchmark.pedantic(
+        lambda: ablation_estimator_quality(
+            fractions=(0.01, 0.02, 0.05, 0.1, 0.2), runs=40
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    render(table)
+    selection = [float(r[1]) for r in table.rows]
+    join = [float(r[2]) for r in table.rows]
+    # Consistency: the largest sample fraction must beat the smallest.
+    assert selection[-1] < selection[0]
+    assert join[-1] < join[0]
+    assert selection[-1] < 0.1
+    assert join[-1] < 0.2
+
+
+def test_distinct_count_estimators(benchmark):
+    table = benchmark.pedantic(
+        lambda: ablation_distinct_estimators(fraction=0.1, runs=40),
+        rounds=1,
+        iterations=1,
+    )
+    render(table)
+    bias = {r[0]: abs(float(r[3])) for r in table.rows}
+    # Any real estimator must improve on "just report what you saw".
+    assert bias["goodman"] < bias["observed"]
+    assert bias["chao1"] < bias["observed"]
+    assert bias["jackknife1"] < bias["observed"]

@@ -1,0 +1,45 @@
+"""Figure 5.1 — time-control performance for the Selection operator.
+
+Regenerates both published panels (1 000 and 5 000 output tuples) of the
+paper's selection table: quota 10 s, d_β ∈ {0, 12, 24, 48, 72}, columns
+stages / risk / ovsp / utilization / blocks. The assertions pin the *shape*
+the paper reports: risk falls from the d_β = 0 coin flip to (near) zero,
+stages and utilization rise, mean overspend stays a small fraction of the
+quota.
+"""
+
+from benchmarks.conftest import column, render
+from repro.experiments.tables import figure_5_1
+
+
+def test_figure_5_1_selection_1000(benchmark, bench_runs):
+    table = benchmark.pedantic(
+        lambda: figure_5_1(runs=bench_runs, output_tuples=1_000),
+        rounds=1,
+        iterations=1,
+    )
+    render(table)
+    risk = column(table, "risk%")
+    stages = column(table, "stages")
+    util = column(table, "util%")
+    ovsp = column(table, "ovsp")
+    assert risk[0] > 25.0, "d_beta=0 should gamble near-even odds"
+    assert risk[-1] < risk[0] / 2, "large d_beta must cut the risk"
+    assert stages[-1] > stages[0], "conservative selectivities add stages"
+    assert util[-1] > util[0], "less waste at larger d_beta"
+    # Mean overspend stays a modest fraction of the 10 s quota (individual
+    # cells can carry one rare large-noise outlier at small run counts).
+    assert max(ovsp) < 0.15 * 10.0, "adaptive formulas keep overspend small"
+
+
+def test_figure_5_1_selection_5000(benchmark, bench_runs):
+    table = benchmark.pedantic(
+        lambda: figure_5_1(runs=bench_runs, output_tuples=5_000),
+        rounds=1,
+        iterations=1,
+    )
+    render(table)
+    risk = column(table, "risk%")
+    assert risk[-1] < max(risk[0], 10.0)
+    errors = column(table, "rel.err")
+    assert max(errors) < 0.3, "selection estimates stay accurate"

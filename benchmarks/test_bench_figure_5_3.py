@@ -1,0 +1,27 @@
+"""Figure 5.3 — time-control performance for the Join operator.
+
+Two 10 000-tuple relations whose single-attribute equi-join has ≈70 000
+output tuples; initial join selectivity 0.1 as in Section 5.C. Pinned
+shape: risk falls to zero with d_β, stages grow, utilization declines
+gently as conservatism leaves tail time unused, blocks decline with the
+growing overhead (the cross-stage merge cost of the full-fulfillment plan).
+"""
+
+from benchmarks.conftest import column, render
+from repro.experiments.tables import figure_5_3
+
+
+def test_figure_5_3_join(benchmark, bench_runs):
+    table = benchmark.pedantic(
+        lambda: figure_5_3(runs=bench_runs), rounds=1, iterations=1
+    )
+    render(table)
+    risk = column(table, "risk%")
+    stages = column(table, "stages")
+    blocks = column(table, "blocks")
+    errors = column(table, "rel.err")
+    assert risk[-1] <= risk[0]
+    assert risk[-1] < 5.0
+    assert stages[-1] > stages[0]
+    assert blocks[-1] < blocks[0], "cross-stage merge overhead costs blocks"
+    assert max(errors) < 0.5, "join estimates stay in the right ballpark"

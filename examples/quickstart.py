@@ -1,0 +1,82 @@
+"""Quickstart — estimate COUNT queries under a hard time quota.
+
+Builds a small sales database on the simulated 1989-class machine, then
+answers three COUNT queries: exactly (paying the full evaluation cost) and
+approximately within a quota, showing the paper's trade: a bounded response
+time for a confidence interval instead of an exact answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Database,
+    MachineProfile,
+    OneAtATimeInterval,
+    cmp,
+    join,
+    rel,
+    select,
+)
+
+
+def build_database(seed: int = 7) -> Database:
+    db = Database(profile=MachineProfile.sun3_60(), seed=seed)
+    rng = np.random.default_rng(seed)
+
+    n_orders, n_parts = 20_000, 5_000
+    db.create_relation(
+        "orders",
+        [("order_id", "int"), ("part_id", "int"), ("qty", "int")],
+        rows=(
+            (i, int(rng.integers(0, n_parts)), int(rng.integers(1, 100)))
+            for i in range(n_orders)
+        ),
+        block_size=256,
+    )
+    db.create_relation(
+        "parts",
+        [("part_id", "int"), ("weight", "int")],
+        rows=((p, int(rng.integers(1, 50))) for p in range(n_parts)),
+        block_size=256,
+    )
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    queries = {
+        "large orders (qty > 90)": select(rel("orders"), cmp("qty", ">", 90)),
+        "orders of heavy parts": join(
+            select(rel("parts"), cmp("weight", ">", 45)),
+            rel("orders"),
+            on=["part_id"],
+        ),
+    }
+
+    for name, query in queries.items():
+        exact, exact_cost = db.count_timed(query)
+        quota = exact_cost / 10  # give the estimator a tenth of the time
+        result = db.count_estimate(
+            query, quota=quota, strategy=OneAtATimeInterval(d_beta=24)
+        )
+        lo, hi = result.confidence_interval(0.95)
+        print(f"{name}:")
+        print(f"  exact COUNT          = {exact}  (cost {exact_cost:.1f}s)")
+        print(
+            f"  estimate in {quota:.1f}s   = {result.value:.0f}  "
+            f"95% CI [{lo:.0f}, {hi:.0f}]"
+        )
+        print(
+            f"  run: {result.stages} stages, {result.blocks} blocks, "
+            f"utilization {result.utilization:.0%}, "
+            f"overspent={result.overspent}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Choosing a time-control strategy and its risk parameter.
+
+Walks the three strategies of Section 3.3 over the paper's join workload and
+prints the operating trade-off each setting buys: risk of overspending vs
+evaluated sample size (i.e., estimate precision). This is the decision a
+deployer of the library actually has to make; the paper's answer — One-at-a-
+Time-Interval with a generous d_β — falls out of the numbers.
+
+Run:  python examples/strategy_tuning.py        (~30 s of simulated sweeps)
+"""
+
+from __future__ import annotations
+
+from repro import FixedFractionHeuristic, OneAtATimeInterval, SingleInterval
+from repro.experiments.runner import aggregate, run_cell
+from repro.workloads.paper import make_join_setup
+
+RUNS = 40
+
+
+def main() -> None:
+    setup = make_join_setup(seed=11)
+    print(f"workload: {setup.describe()}")
+    print(f"{RUNS} runs per configuration\n")
+    print(
+        f"{'strategy':<28}{'risk%':>6}{'stages':>8}{'blocks':>8}"
+        f"{'util%':>7}{'rel.err':>9}"
+    )
+    configurations = [
+        ("one-at-a-time, d_b=0", lambda: OneAtATimeInterval(d_beta=0.0)),
+        ("one-at-a-time, d_b=12", lambda: OneAtATimeInterval(d_beta=12.0)),
+        ("one-at-a-time, d_b=24", lambda: OneAtATimeInterval(d_beta=24.0)),
+        ("one-at-a-time, d_b=72", lambda: OneAtATimeInterval(d_beta=72.0)),
+        ("single-interval, d_a=0", lambda: SingleInterval(d_alpha=0.0)),
+        ("single-interval, d_a=2", lambda: SingleInterval(d_alpha=2.0)),
+        ("heuristic, gamma=0.5", lambda: FixedFractionHeuristic(gamma=0.5)),
+        ("heuristic, gamma=0.9", lambda: FixedFractionHeuristic(gamma=0.9)),
+    ]
+    for label, factory in configurations:
+        results = run_cell(setup, factory, runs=RUNS, seed0=7_000)
+        cell = aggregate(label, results, true_count=setup.exact_count)
+        err = (
+            f"{cell.mean_relative_error:9.3f}"
+            if cell.mean_relative_error is not None
+            else "        -"
+        )
+        print(
+            f"{label:<28}{cell.risk_pct:6.0f}{cell.stages:8.2f}"
+            f"{cell.blocks:8.1f}{cell.utilization_pct:7.0f}{err}"
+        )
+    print(
+        "\nreading guide: pick the row with acceptable risk and the most"
+        "\nblocks — more evaluated blocks means a tighter estimate. The"
+        "\nstatistical strategies dominate the fixed-share heuristic, and"
+        "\nmoderate d_beta buys near-zero risk for little sample-size cost"
+        "\n(the paper's conclusion)."
+    )
+
+
+if __name__ == "__main__":
+    main()

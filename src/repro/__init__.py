@@ -1,0 +1,124 @@
+"""repro — time-constrained aggregate relational query processing.
+
+A full reproduction of Hou, Ozsoyoglu & Taneja, *Processing Aggregate
+Relational Queries with Hard Time Constraints* (SIGMOD 1989): a prototype
+DBMS that answers ``COUNT(E)`` queries within a hard time quota by staged
+cluster sampling, run-time selectivity estimation, adaptive time-cost
+formulas, and statistical time-control strategies.
+
+Quickstart::
+
+    from repro import Database, MachineProfile, rel, select, cmp
+
+    db = Database(profile=MachineProfile.sun3_60(), seed=7)
+    db.create_relation("r1", [("id", "int"), ("a", "int")],
+                       rows=[(i, i % 100) for i in range(10_000)])
+    result = db.count_estimate(
+        select(rel("r1"), cmp("a", "<", 50)), quota=10.0)
+    print(result.estimate, result.confidence_interval(0.95))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table.
+"""
+
+from repro.catalog import Attribute, AttributeType, Catalog, Schema
+from repro.core import Database, QueryResult
+from repro.costmodel import CostModel
+from repro.estimation import AggregateSpec, Estimate, avg_of, sum_of
+from repro.timecontrol import (
+    AnyOf,
+    ErrorConstrained,
+    FixedFractionHeuristic,
+    HardDeadline,
+    OneAtATimeInterval,
+    RunReport,
+    SingleInterval,
+    SoftDeadline,
+    TimeConstrainedExecutor,
+)
+from repro.errors import (
+    CatalogError,
+    CostModelError,
+    EstimationError,
+    ExpressionError,
+    QuotaExpired,
+    ReproError,
+    SamplingExhausted,
+    SchemaError,
+    StorageError,
+    TimeControlError,
+)
+from repro.relational import (
+    attr,
+    cmp,
+    count_exact,
+    difference,
+    expand_count,
+    intersect,
+    join,
+    project,
+    rel,
+    select,
+    union,
+)
+from repro.timekeeping import (
+    Clock,
+    CostCharger,
+    CostKind,
+    MachineProfile,
+    SimulatedClock,
+    WallClock,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnyOf",
+    "Attribute",
+    "AttributeType",
+    "Catalog",
+    "CatalogError",
+    "Clock",
+    "CostModel",
+    "Database",
+    "AggregateSpec",
+    "Estimate",
+    "ErrorConstrained",
+    "FixedFractionHeuristic",
+    "HardDeadline",
+    "OneAtATimeInterval",
+    "QueryResult",
+    "RunReport",
+    "SingleInterval",
+    "SoftDeadline",
+    "TimeConstrainedExecutor",
+    "CostCharger",
+    "CostKind",
+    "CostModelError",
+    "EstimationError",
+    "ExpressionError",
+    "MachineProfile",
+    "QuotaExpired",
+    "ReproError",
+    "SamplingExhausted",
+    "Schema",
+    "SchemaError",
+    "SimulatedClock",
+    "StorageError",
+    "TimeControlError",
+    "WallClock",
+    "attr",
+    "avg_of",
+    "cmp",
+    "count_exact",
+    "difference",
+    "expand_count",
+    "intersect",
+    "join",
+    "project",
+    "rel",
+    "select",
+    "sum_of",
+    "union",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Relation catalog and schema substrate (system S3 in DESIGN.md)."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.types import AttributeType
+
+__all__ = ["Attribute", "AttributeType", "Catalog", "Schema"]

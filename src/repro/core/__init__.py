@@ -1,0 +1,6 @@
+"""Public DBMS facade (system S15)."""
+
+from repro.core.database import Database
+from repro.core.result import QueryResult
+
+__all__ = ["Database", "QueryResult"]

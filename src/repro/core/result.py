@@ -1,0 +1,135 @@
+"""Query results returned by the public API."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+from repro.estimation.estimate import Estimate
+from repro.timecontrol.executor import RunReport
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one time-constrained COUNT evaluation.
+
+    ``estimate`` may be ``None`` when not even the first stage finished
+    inside the quota — the hard-deadline analogue of a query that returned
+    nothing. All the paper's per-run measures (stages, risk, overspend,
+    utilization, blocks) are exposed for harness use.
+    """
+
+    report: RunReport
+
+    @property
+    def estimate(self) -> Estimate | None:
+        return self.report.estimate
+
+    @property
+    def value(self) -> float:
+        """The COUNT estimate; raises if no stage completed in time."""
+        if self.report.estimate is None:
+            raise EstimationError(
+                "no stage completed within the quota; no estimate available "
+                "(termination: " + self.report.termination + ")"
+            )
+        return self.report.estimate.value
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        if self.report.estimate is None:
+            raise EstimationError("no estimate available")
+        return self.report.estimate.confidence_interval(level)
+
+    @property
+    def exact(self) -> bool:
+        """True when sampling covered the whole point space."""
+        return self.report.estimate is not None and self.report.estimate.exact
+
+    # -- run diagnostics (the paper's table columns) ---------------------
+    @property
+    def stages(self) -> int:
+        return self.report.stages_completed_in_time
+
+    @property
+    def stages_attempted(self) -> int:
+        return len(self.report.stages)
+
+    @property
+    def overspent(self) -> bool:
+        return self.report.overspent
+
+    @property
+    def overspend_seconds(self) -> float:
+        return self.report.overspend_seconds
+
+    @property
+    def utilization(self) -> float:
+        return self.report.utilization
+
+    @property
+    def blocks(self) -> int:
+        return self.report.blocks_within_quota
+
+    @property
+    def termination(self) -> str:
+        return self.report.termination
+
+    @property
+    def quota(self) -> float:
+        return self.report.quota
+
+    def relative_error(self, true_count: float) -> float:
+        """|estimate − truth| / truth (math.inf when truth is zero)."""
+        if self.report.estimate is None:
+            raise EstimationError("no estimate available")
+        if true_count == 0:
+            return 0.0 if self.report.estimate.value == 0 else math.inf
+        return abs(self.report.estimate.value - true_count) / abs(true_count)
+
+    def trace(self) -> str:
+        """Multi-line per-stage trace of the run — the paper's Figure 3.1
+        loop made visible: fraction chosen, duration, blocks, and the
+        estimate after each stage."""
+        lines = [
+            f"quota {self.report.quota:g}s, strategy-driven stages "
+            f"({self.report.termination}):"
+        ]
+        for stage in self.report.stages:
+            flag = "" if stage.completed_in_time else "  ← past deadline"
+            if stage.aborted_mid_stage:
+                flag = "  ← interrupted mid-stage"
+            estimate = (
+                f"{stage.estimate.value:.1f}" if stage.estimate else "-"
+            )
+            lines.append(
+                f"  stage {stage.index}: f={stage.fraction:.4f}  "
+                f"{stage.duration:.3f}s  +{stage.blocks_read} blocks  "
+                f"≈{estimate}{flag}"
+            )
+        if self.report.estimate is not None:
+            lo, hi = self.report.estimate.confidence_interval(0.95)
+            lines.append(
+                f"  answer: {self.report.estimate.value:.1f} "
+                f"(95% CI [{lo:.1f}, {hi:.1f}])"
+            )
+        else:
+            lines.append("  answer: none (no stage completed in time)")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.report.estimate is None:
+            return (
+                f"<no estimate; termination={self.report.termination}, "
+                f"quota={self.report.quota:g}s>"
+            )
+        est = self.report.estimate
+        lo, hi = est.confidence_interval(0.95)
+        label = self.report.aggregate.upper()
+        return (
+            f"{label} ≈ {est.value:.1f} (95% CI [{lo:.1f}, {hi:.1f}]), "
+            f"{self.stages} stages, {self.blocks} blocks, "
+            f"utilization {self.utilization:.0%}"
+            + (", OVERSPENT" if self.overspent else "")
+        )

@@ -1,0 +1,38 @@
+"""Adaptive time-cost formulas (system S10)."""
+
+from repro.costmodel.linear import OnlineLinearModel, StepSpec
+from repro.costmodel.model import CostModel
+from repro.costmodel.steps import (
+    INTERSECT_MERGE,
+    INTERSECT_SORT,
+    INTERSECT_WRITE,
+    JOIN_MERGE,
+    JOIN_SORT,
+    JOIN_WRITE,
+    PROJECT_DEDUPE,
+    PROJECT_SORT,
+    PROJECT_WRITE,
+    SCAN_READ,
+    SELECT_OP,
+    STAGE_OVERHEAD,
+    default_step_specs,
+)
+
+__all__ = [
+    "CostModel",
+    "INTERSECT_MERGE",
+    "INTERSECT_SORT",
+    "INTERSECT_WRITE",
+    "JOIN_MERGE",
+    "JOIN_SORT",
+    "JOIN_WRITE",
+    "OnlineLinearModel",
+    "PROJECT_DEDUPE",
+    "PROJECT_SORT",
+    "PROJECT_WRITE",
+    "SCAN_READ",
+    "SELECT_OP",
+    "STAGE_OVERHEAD",
+    "StepSpec",
+    "default_step_specs",
+]

@@ -1,0 +1,111 @@
+"""Step catalogue — the controller's cost-formula vocabulary.
+
+Each (operator kind, step) pair has a feature layout matching the paper's
+per-step formulas:
+
+======================  =============================  =====================
+key                     features                        paper equation
+======================  =============================  =====================
+``scan.read``           ``[blocks, 1]``                 block I/O term
+``select.op``           ``[n, p, 1]``                   (4.1)
+``<binop>.write``       ``[n1+n2, 1]``                  (4.2)
+``<binop>.sort``        ``[Σ n·log2 n, Σ n, 1]``        (4.3)
+``<binop>.merge``       ``[reads, out_tuples, merges]`` (4.4)
+``project.write``       ``[n, 1]``                      (4.2)
+``project.sort``        ``[n·log2 n, n, 1]``            (4.3)
+``project.dedupe``      ``[n, p, 1]``                   Fig. 4.7 step 3
+``stage.overhead``      ``[1]``                         "overhead, measured
+                                                        at run-time"
+======================  =============================  =====================
+
+where ``<binop>`` is ``join`` or ``intersect`` — the two share the same
+*shape* ("the join operation and its time cost formula are similar to the
+intersection operation … the values of coefficients and constants will be
+different", Section 4.4), so they get separate models with the same layout.
+
+The default priors are the "designer initial values" of Section 5: they were
+chosen for the *largest* tuples and the most expensive formulas the designers
+anticipated, i.e. they deliberately over-estimate a typical query on the
+calibrated sun3_60 profile by roughly 2–3×, and the adaptive fitting has to
+walk them in at run time. Nothing here reads the live machine profile.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.linear import StepSpec
+from repro.errors import CostModelError
+
+SCAN_READ = "scan.read"
+SELECT_OP = "select.op"
+JOIN_WRITE = "join.write"
+JOIN_SORT = "join.sort"
+JOIN_MERGE = "join.merge"
+INTERSECT_WRITE = "intersect.write"
+INTERSECT_SORT = "intersect.sort"
+INTERSECT_MERGE = "intersect.merge"
+PROJECT_WRITE = "project.write"
+PROJECT_SORT = "project.sort"
+PROJECT_DEDUPE = "project.dedupe"
+STAGE_OVERHEAD = "stage.overhead"
+
+
+def default_step_specs(prior_scale: float = 1.0) -> dict[str, StepSpec]:
+    """Fresh prior specifications for every step model.
+
+    ``prior_scale`` rescales the prior *means* for faster or slower machine
+    classes (a deployer's designers would have calibrated against their own
+    hardware generation, as the paper's did against theirs). The deliberate
+    2–3× pessimism relative to the true per-step costs, and the prior
+    strengths, are preserved at every scale.
+    """
+    specs = [
+        StepSpec(SCAN_READ, prior=(0.15, 0.02), scales=(4.0, 1.0), weight=0.5),
+        StepSpec(
+            SELECT_OP, prior=(0.013, 0.10, 0.06), scales=(20.0, 2.0, 1.0), weight=0.5
+        ),
+        StepSpec(JOIN_WRITE, prior=(0.006, 0.03), scales=(20.0, 1.0), weight=0.5),
+        StepSpec(
+            JOIN_SORT, prior=(0.0017, 0.004, 0.02), scales=(100.0, 20.0, 1.0),
+            weight=0.5,
+        ),
+        StepSpec(
+            JOIN_MERGE, prior=(0.0028, 0.02, 0.03), scales=(50.0, 5.0, 1.0),
+            weight=0.5,
+        ),
+        StepSpec(
+            INTERSECT_WRITE, prior=(0.006, 0.03), scales=(20.0, 1.0), weight=0.5
+        ),
+        StepSpec(
+            INTERSECT_SORT, prior=(0.0017, 0.004, 0.02), scales=(100.0, 20.0, 1.0),
+            weight=0.5,
+        ),
+        StepSpec(
+            INTERSECT_MERGE, prior=(0.0028, 0.02, 0.03), scales=(50.0, 5.0, 1.0),
+            weight=0.5,
+        ),
+        StepSpec(
+            PROJECT_WRITE, prior=(0.006, 0.03), scales=(20.0, 1.0), weight=0.5
+        ),
+        StepSpec(
+            PROJECT_SORT, prior=(0.0017, 0.004, 0.02), scales=(100.0, 20.0, 1.0),
+            weight=0.5,
+        ),
+        StepSpec(
+            PROJECT_DEDUPE, prior=(0.0035, 0.10, 0.03), scales=(20.0, 2.0, 1.0),
+            weight=0.5,
+        ),
+        StepSpec(STAGE_OVERHEAD, prior=(0.6,), scales=(1.0,), weight=1.0),
+    ]
+    if prior_scale <= 0:
+        raise CostModelError(f"prior_scale must be positive: {prior_scale}")
+    if prior_scale != 1.0:
+        specs = [
+            StepSpec(
+                s.name,
+                prior=tuple(p * prior_scale for p in s.prior),
+                scales=s.scales,
+                weight=s.weight,
+            )
+            for s in specs
+        ]
+    return {spec.name: spec for spec in specs}

@@ -1,0 +1,35 @@
+"""Staged estimator-evaluation engine (full/partial fulfillment plans)."""
+
+from repro.engine.nodes import (
+    PredictContext,
+    SelProvider,
+    StagedIntersect,
+    StagedJoin,
+    StagedNode,
+    StagedProject,
+    StagedScan,
+    StagedSelect,
+    StagePrediction,
+)
+from repro.engine.plan import (
+    DEFAULT_INITIAL_SELECTIVITY,
+    StagedPlan,
+    StagedTerm,
+    StageStats,
+)
+
+__all__ = [
+    "DEFAULT_INITIAL_SELECTIVITY",
+    "PredictContext",
+    "SelProvider",
+    "StagePrediction",
+    "StageStats",
+    "StagedIntersect",
+    "StagedJoin",
+    "StagedNode",
+    "StagedPlan",
+    "StagedProject",
+    "StagedScan",
+    "StagedSelect",
+    "StagedTerm",
+]

@@ -1,0 +1,622 @@
+"""Staged operator nodes — the estimator-evaluation engine.
+
+These nodes execute one SJIP term of a COUNT query *stage by stage* over
+growing block samples, implementing the paper's full-fulfillment cluster
+sampling plan (Section 4, Figure 4.1): at stage ``s`` a binary operator
+combines its children's **new** sample outputs with everything seen before —
+``(F_1s ⋈ F_2s) ∪ (F_1s ⋈ F_2i)_{i<s} ∪ (F_1i ⋈ F_2s)_{i<s}`` — so after
+``s`` stages the evaluated region is the full cross product of all sampled
+tuples. Partial fulfillment ("less costly", [HoOT 88a]) merges only
+new×new.
+
+Every node also serves the *controller*:
+
+* it owns a :class:`~repro.estimation.selectivity.SelectivityTracker`
+  (Revise-Selectivities state) fed with (output tuples, new points) per
+  stage, where "points" live in the node's own point space — the cross
+  product of the base relations under it (Section 3.1's operator
+  selectivity);
+* :meth:`predict` prices a candidate sample fraction using the adaptive
+  :class:`~repro.costmodel.model.CostModel`, mirroring the per-step cost
+  formulas (4.1)–(4.5) that the execution path actually charges;
+* execution wraps each time-consuming step in ``charger.measure`` and feeds
+  the measured seconds back into the cost model (the run-time coefficient
+  adjustment of Section 4).
+
+Scans are **shared**: when inclusion–exclusion expands a query into several
+terms over the same base relation, one :class:`StagedScan` draws each
+relation's blocks once per stage and every term reads the same sample, as
+the paper's PIE evaluation does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.catalog.schema import Schema
+from repro.costmodel import steps as step_names
+from repro.costmodel.model import CostModel
+from repro.errors import TimeControlError
+from repro.estimation.selectivity import SelectivityTracker
+from repro.relational.operators import (
+    apply_select,
+    external_sort,
+    key_for_positions,
+    merge_intersect,
+    merge_join,
+    project_rows,
+    whole_row_key,
+)
+from repro.sampling.sampler import BlockSampler, blocks_for_fraction
+from repro.storage.block import Row
+from repro.storage.heapfile import HeapFile
+from repro.storage.spool import Spool, SpoolFile
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.profile import CostKind
+
+SelProvider = Callable[[SelectivityTracker, int, int], float]
+"""Strategy hook: (tracker, candidate_new_points, space_points) -> sel used."""
+
+
+@dataclass
+class StagePrediction:
+    """Controller-side forecast of one node's next stage."""
+
+    seconds: float
+    new_out_tuples: float
+    new_points: float
+
+
+class PredictContext:
+    """One prediction pass over a (possibly multi-term) staged plan.
+
+    Caches per-node results so shared scans (and shared subtrees) are priced
+    exactly once per pass, and carries the strategy's selectivity provider.
+    """
+
+    def __init__(self, fraction: float, sel_provider: SelProvider) -> None:
+        if fraction <= 0:
+            raise TimeControlError(f"candidate fraction must be positive: {fraction}")
+        self.fraction = fraction
+        self.sel_provider = sel_provider
+        self._cache: dict[int, StagePrediction] = {}
+        self.total_seconds = 0.0
+
+    def cached(self, node: "StagedNode") -> StagePrediction | None:
+        return self._cache.get(id(node))
+
+    def store(
+        self, node: "StagedNode", prediction: StagePrediction
+    ) -> StagePrediction:
+        self._cache[id(node)] = prediction
+        self.total_seconds += prediction.seconds
+        return prediction
+
+
+def _nlogn(n: float) -> float:
+    return n * math.log2(n) if n > 1 else 0.0
+
+
+class StagedNode(Protocol):
+    """Common protocol of all staged nodes (see module docstring)."""
+
+    schema: Schema
+    tracker: SelectivityTracker | None
+
+    def advance(self, stage: int) -> list[Row]: ...
+
+    def predict(self, ctx: PredictContext) -> StagePrediction: ...
+
+    def base_scans(self) -> list["StagedScan"]: ...
+
+    def iter_nodes(self) -> "list[StagedNode]": ...
+
+
+class _NodeBase:
+    """Shared region bookkeeping over the base relations under a node."""
+
+    schema: Schema
+    tracker: SelectivityTracker | None = None
+
+    def __init__(
+        self,
+        charger: CostCharger,
+        cost_model: CostModel,
+        block_size: int,
+        full_fulfillment: bool,
+        spool: "Spool | None" = None,
+    ) -> None:
+        self.charger = charger
+        self.cost_model = cost_model
+        self.block_size = block_size
+        self.full_fulfillment = full_fulfillment
+        self.spool = spool if spool is not None else Spool(block_size)
+        self.stage = 0  # completed stages
+        self.cum_out_tuples = 0
+        self.points_so_far = 0
+
+    # -- region geometry ------------------------------------------------
+    def base_scans(self) -> list["StagedScan"]:
+        raise NotImplementedError
+
+    def space_points(self) -> int:
+        """Total points of this node's point space (Π N_j of its subtree)."""
+        return math.prod(s.relation.tuple_count for s in self.base_scans())
+
+    def _new_points_actual(self) -> int:
+        """Newly covered points after the scans advanced this stage."""
+        scans = self.base_scans()
+        if self.full_fulfillment:
+            after = math.prod(s.cum_tuples for s in scans)
+            new = after - self.points_so_far
+        else:
+            new = math.prod(s.new_tuples for s in scans)
+        return new
+
+    def _new_points_predicted(self, ctx: PredictContext) -> float:
+        scans = self.base_scans()
+        news = [s.predict(ctx).new_out_tuples for s in scans]
+        if self.full_fulfillment:
+            after = math.prod(s.cum_tuples + n for s, n in zip(scans, news))
+            before = math.prod(s.cum_tuples for s in scans)
+            return after - before
+        return math.prod(news)
+
+    def _record(self, out_tuples: int) -> None:
+        new_points = self._new_points_actual()
+        self.points_so_far += new_points
+        self.cum_out_tuples += out_tuples
+        if self.tracker is not None:
+            self.tracker.record_stage(out_tuples, new_points)
+
+    def _bf(self) -> int:
+        return self.schema.blocking_factor(self.block_size)
+
+    def _check_stage(self, stage: int) -> None:
+        if stage != self.stage + 1:
+            raise TimeControlError(
+                f"stage {stage} requested but node has completed {self.stage}"
+            )
+
+
+class StagedScan(_NodeBase):
+    """Shared sampling scan of one base relation.
+
+    Draws ``max(1, round(f·D))`` new blocks per stage (clamped by what
+    remains unsampled) and reads them, charging block I/O. All terms that
+    reference the relation share this node, so blocks are drawn and read
+    once per stage.
+    """
+
+    def __init__(
+        self,
+        relation: HeapFile,
+        sampler: BlockSampler,
+        charger: CostCharger,
+        cost_model: CostModel,
+        block_size: int,
+        full_fulfillment: bool,
+        spool: "Spool | None" = None,
+    ) -> None:
+        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        self.relation = relation
+        self.sampler = sampler
+        self.schema = relation.schema
+        self.cum_tuples = 0
+        self.new_tuples = 0
+        self._stage_rows: list[Row] = []
+
+    def base_scans(self) -> list["StagedScan"]:
+        return [self]
+
+    def iter_nodes(self) -> list["StagedNode"]:
+        return [self]
+
+    @property
+    def blocks_drawn(self) -> int:
+        return self.sampler.drawn_blocks
+
+    @property
+    def exhausted(self) -> bool:
+        return self.sampler.exhausted
+
+    def _blocks_for(self, fraction: float) -> int:
+        wanted = blocks_for_fraction(self.relation, fraction)
+        return min(wanted, self.sampler.remaining_blocks)
+
+    def advance(self, stage: int, fraction: float | None = None) -> list[Row]:
+        if stage == self.stage:  # another term already advanced us
+            return self._stage_rows
+        self._check_stage(stage)
+        if fraction is None:
+            raise TimeControlError("scan.advance needs the stage fraction")
+        d = self._blocks_for(fraction)
+        with self.charger.measure() as meter:
+            block_ids = self.sampler.draw(d)
+            rows = self.relation.read_blocks(block_ids, self.charger)
+        if d:
+            self.cost_model.observe(step_names.SCAN_READ, [d, 1.0], meter.elapsed)
+        self._stage_rows = rows
+        self.new_tuples = len(rows)
+        self.cum_tuples += len(rows)
+        self.stage = stage
+        self._record(len(rows))  # scan "outputs" everything it reads
+        return rows
+
+    def predict(self, ctx: PredictContext) -> StagePrediction:
+        cached = ctx.cached(self)
+        if cached is not None:
+            return cached
+        d = self._blocks_for(ctx.fraction)
+        seconds = (
+            self.cost_model.predict(step_names.SCAN_READ, [d, 1.0]) if d else 0.0
+        )
+        new_tuples = float(d * self.relation.blocking_factor)
+        # The final block may be partially filled; clamp by what remains.
+        new_tuples = min(new_tuples, self.relation.tuple_count - self.cum_tuples)
+        return ctx.store(self, StagePrediction(seconds, new_tuples, new_tuples))
+
+
+class StagedSelect(_NodeBase):
+    """Staged selection (Figure 4.3 / equation 4.1)."""
+
+    def __init__(
+        self,
+        child: "StagedNode",
+        predicate_fn: Callable[[Row], bool],
+        comparison_count: int,
+        label: str,
+        initial_selectivity: float,
+        charger: CostCharger,
+        cost_model: CostModel,
+        block_size: int,
+        full_fulfillment: bool,
+        spool: "Spool | None" = None,
+    ) -> None:
+        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        self.child = child
+        self.predicate_fn = predicate_fn
+        self.comparison_count = comparison_count
+        self.schema = child.schema
+        self.tracker = SelectivityTracker(label, initial_selectivity)
+
+    def base_scans(self) -> list[StagedScan]:
+        return self.child.base_scans()
+
+    def iter_nodes(self) -> list["StagedNode"]:
+        return [self, *self.child.iter_nodes()]
+
+    def advance(self, stage: int) -> list[Row]:
+        self._check_stage(stage)
+        rows = self.child.advance(stage)
+        with self.charger.measure() as meter:
+            out = apply_select(rows, self.predicate_fn, self.charger, self._bf())
+        pages = -(-len(out) // self._bf()) if out else 0
+        self.cost_model.observe(
+            step_names.SELECT_OP, [len(rows), pages, 1.0], meter.elapsed
+        )
+        self.stage = stage
+        self._record(len(out))
+        return out
+
+    def predict(self, ctx: PredictContext) -> StagePrediction:
+        cached = ctx.cached(self)
+        if cached is not None:
+            return cached
+        child = self.child.predict(ctx)
+        new_points = self._new_points_predicted(ctx)
+        sel = ctx.sel_provider(
+            self.tracker, max(int(new_points), 1), self.space_points()
+        )
+        out = sel * new_points
+        pages = out / self._bf()
+        seconds = self.cost_model.predict(
+            step_names.SELECT_OP, [child.new_out_tuples, pages, 1.0]
+        )
+        return ctx.store(self, StagePrediction(seconds, out, new_points))
+
+
+class _StagedBinary(_NodeBase):
+    """Shared machinery of staged Join and Intersect (Figures 4.4/4.6).
+
+    Keeps the per-stage sorted runs ``F_{j,i}`` of both children; stage ``s``
+    writes + sorts the new runs and performs the full- or partial-fulfillment
+    merges, charging equations (4.2)–(4.4).
+    """
+
+    write_step: str
+    sort_step: str
+    merge_step: str
+
+    def __init__(
+        self,
+        left: "StagedNode",
+        right: "StagedNode",
+        label: str,
+        initial_selectivity: float,
+        charger: CostCharger,
+        cost_model: CostModel,
+        block_size: int,
+        full_fulfillment: bool,
+        spool: "Spool | None" = None,
+    ) -> None:
+        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        self.left = left
+        self.right = right
+        self.tracker = SelectivityTracker(label, initial_selectivity)
+        self._left_runs: list[SpoolFile] = []
+        self._right_runs: list[SpoolFile] = []
+        self.cum_left_in = 0
+        self.cum_right_in = 0
+
+    def base_scans(self) -> list[StagedScan]:
+        return self.left.base_scans() + self.right.base_scans()
+
+    def iter_nodes(self) -> list["StagedNode"]:
+        return [self, *self.left.iter_nodes(), *self.right.iter_nodes()]
+
+    # Subclass hooks ----------------------------------------------------
+    def _sort_keys(self) -> tuple[Callable[[Row], tuple], Callable[[Row], tuple]]:
+        raise NotImplementedError
+
+    def _merge(self, left_run: list[Row], right_run: list[Row]) -> list[Row]:
+        raise NotImplementedError
+
+    # Execution ----------------------------------------------------------
+    def advance(self, stage: int) -> list[Row]:
+        self._check_stage(stage)
+        new_left = self.left.advance(stage)
+        new_right = self.right.advance(stage)
+
+        # Step (1): write the stage's sample tuples to temporary files —
+        # "all the intermediate relations are always kept on disks".
+        left_file = self.spool.create(self.left.schema)
+        right_file = self.spool.create(self.right.schema)
+        with self.charger.measure() as meter:
+            left_file.write(new_left, self.charger)
+            right_file.write(new_right, self.charger)
+        total_in = len(new_left) + len(new_right)
+        self.cost_model.observe(self.write_step, [total_in, 1.0], meter.elapsed)
+
+        # Step (2): sort the temporary files.
+        left_key, right_key = self._sort_keys()
+        with self.charger.measure() as meter:
+            left_file.replace_rows(
+                external_sort(left_file.rows, left_key, self.charger)
+            )
+            right_file.replace_rows(
+                external_sort(right_file.rows, right_key, self.charger)
+            )
+        self.cost_model.observe(
+            self.sort_step,
+            [_nlogn(len(new_left)) + _nlogn(len(new_right)), total_in, 1.0],
+            meter.elapsed,
+        )
+
+        # Step (3): merge — new×new always; cross-stage merges only under
+        # full fulfillment (Figure 4.5).
+        out: list[Row] = []
+        reads = 0
+        merges = 0
+        with self.charger.measure() as meter:
+            out.extend(self._merge(left_file.rows, right_file.rows))
+            reads += len(left_file) + len(right_file)
+            merges += 1
+            if self.full_fulfillment:
+                for old_right in self._right_runs:
+                    out.extend(self._merge(left_file.rows, old_right.rows))
+                    reads += len(left_file) + len(old_right)
+                    merges += 1
+                for old_left in self._left_runs:
+                    out.extend(self._merge(old_left.rows, right_file.rows))
+                    reads += len(old_left) + len(right_file)
+                    merges += 1
+        self.cost_model.observe(
+            self.merge_step, [reads, len(out), merges], meter.elapsed
+        )
+
+        if self.full_fulfillment:
+            # The runs must survive for future cross-stage merges.
+            self._left_runs.append(left_file)
+            self._right_runs.append(right_file)
+        else:
+            # Partial fulfillment never revisits old runs: release at once.
+            self.spool.release(left_file)
+            self.spool.release(right_file)
+        self.cum_left_in += len(new_left)
+        self.cum_right_in += len(new_right)
+        self.stage = stage
+        self._record(len(out))
+        return out
+
+    # Prediction ----------------------------------------------------------
+    def predict(self, ctx: PredictContext) -> StagePrediction:
+        cached = ctx.cached(self)
+        if cached is not None:
+            return cached
+        left = self.left.predict(ctx)
+        right = self.right.predict(ctx)
+        n1, n2 = left.new_out_tuples, right.new_out_tuples
+        s = self.stage + 1
+        new_points = self._new_points_predicted(ctx)
+        sel = ctx.sel_provider(
+            self.tracker, max(int(new_points), 1), self.space_points()
+        )
+        out = sel * new_points
+        if self.full_fulfillment:
+            # Equation (4.4): N_{1,s−1} + N_{2,s−1} + s(n_1s + n_2s).
+            reads = self.cum_left_in + self.cum_right_in + s * (n1 + n2)
+            merges = 2 * s - 1
+        else:
+            reads = n1 + n2
+            merges = 1
+        seconds = (
+            self.cost_model.predict(self.write_step, [n1 + n2, 1.0])
+            + self.cost_model.predict(
+                self.sort_step, [_nlogn(n1) + _nlogn(n2), n1 + n2, 1.0]
+            )
+            + self.cost_model.predict(self.merge_step, [reads, out, merges])
+        )
+        return ctx.store(self, StagePrediction(seconds, out, new_points))
+
+
+class StagedIntersect(_StagedBinary):
+    """Staged set intersection — the only set operation the estimator runs."""
+
+    write_step = step_names.INTERSECT_WRITE
+    sort_step = step_names.INTERSECT_SORT
+    merge_step = step_names.INTERSECT_MERGE
+
+    def __init__(self, left: "StagedNode", right: "StagedNode", **kwargs) -> None:
+        super().__init__(left, right, **kwargs)
+        left.schema.require_compatible(right.schema, "intersect")
+        self.schema = left.schema
+
+    def _sort_keys(self):
+        return whole_row_key, whole_row_key
+
+    def _merge(self, left_run: list[Row], right_run: list[Row]) -> list[Row]:
+        return merge_intersect(left_run, right_run, self.charger, self._bf())
+
+
+class StagedJoin(_StagedBinary):
+    """Staged equi-join (Figure 4.6)."""
+
+    write_step = step_names.JOIN_WRITE
+    sort_step = step_names.JOIN_SORT
+    merge_step = step_names.JOIN_MERGE
+
+    def __init__(
+        self,
+        left: "StagedNode",
+        right: "StagedNode",
+        on: Sequence[tuple[str, str]],
+        **kwargs,
+    ) -> None:
+        super().__init__(left, right, **kwargs)
+        self.on = tuple(on)
+        self._left_key = [left.schema.index_of(a) for a, _ in self.on]
+        self._right_key = [right.schema.index_of(b) for _, b in self.on]
+        self.schema = left.schema.join(right.schema)
+
+    def _sort_keys(self):
+        return key_for_positions(self._left_key), key_for_positions(self._right_key)
+
+    def _merge(self, left_run: list[Row], right_run: list[Row]) -> list[Row]:
+        return merge_join(
+            left_run,
+            right_run,
+            self._left_key,
+            self._right_key,
+            self.charger,
+            self._bf(),
+        )
+
+
+class StagedProject(_NodeBase):
+    """Staged duplicate-eliminating projection (Figure 4.7).
+
+    Maintains the global group-occupancy table across stages — the input to
+    Goodman's estimator. Its per-stage "output tuples" are the groups first
+    observed at that stage, so its selectivity is distinct-groups-per-point.
+    """
+
+    def __init__(
+        self,
+        child: "StagedNode",
+        attrs: Sequence[str],
+        label: str,
+        initial_selectivity: float,
+        charger: CostCharger,
+        cost_model: CostModel,
+        block_size: int,
+        full_fulfillment: bool,
+        spool: "Spool | None" = None,
+    ) -> None:
+        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        self.child = child
+        self.attrs = tuple(attrs)
+        self._positions = [child.schema.index_of(a) for a in self.attrs]
+        self.schema = child.schema.project(self.attrs)
+        self.tracker = SelectivityTracker(label, initial_selectivity)
+        self.occupancy: dict[Row, int] = {}
+        self.observed_child_tuples = 0
+
+    def base_scans(self) -> list[StagedScan]:
+        return self.child.base_scans()
+
+    def iter_nodes(self) -> list["StagedNode"]:
+        return [self, *self.child.iter_nodes()]
+
+    def advance(self, stage: int) -> list[Row]:
+        self._check_stage(stage)
+        rows = self.child.advance(stage)
+        projected = project_rows(rows, self._positions)
+
+        # Step (1): spool the projected tuples to a temporary file.
+        temp = self.spool.create(self.schema)
+        with self.charger.measure() as meter:
+            temp.write(projected, self.charger)
+        self.cost_model.observe(
+            step_names.PROJECT_WRITE, [len(projected), 1.0], meter.elapsed
+        )
+
+        # Step (2): sort the temporary file.
+        with self.charger.measure() as meter:
+            ordered = external_sort(temp.rows, whole_row_key, self.charger)
+            temp.replace_rows(ordered)
+        self.cost_model.observe(
+            step_names.PROJECT_SORT,
+            [_nlogn(len(projected)), len(projected), 1.0],
+            meter.elapsed,
+        )
+
+        new_groups: list[Row] = []
+        with self.charger.measure() as meter:
+            if ordered:
+                self.charger.charge(CostKind.DEDUPE_TUPLE, len(ordered))
+            for row in ordered:
+                if row in self.occupancy:
+                    self.occupancy[row] += 1
+                else:
+                    self.occupancy[row] = 1
+                    new_groups.append(row)
+            if new_groups:
+                self.charger.charge(
+                    CostKind.PAGE_WRITE, -(-len(new_groups) // self._bf())
+                )
+        pages = -(-len(new_groups) // self._bf()) if new_groups else 0
+        self.cost_model.observe(
+            step_names.PROJECT_DEDUPE,
+            [len(ordered), pages, 1.0],
+            meter.elapsed,
+        )
+
+        self.spool.release(temp)  # folded into the occupancy table
+        self.observed_child_tuples += len(projected)
+        self.stage = stage
+        self._record(len(new_groups))
+        return new_groups
+
+    def predict(self, ctx: PredictContext) -> StagePrediction:
+        cached = ctx.cached(self)
+        if cached is not None:
+            return cached
+        child = self.child.predict(ctx)
+        n = child.new_out_tuples
+        new_points = self._new_points_predicted(ctx)
+        sel = ctx.sel_provider(
+            self.tracker, max(int(new_points), 1), self.space_points()
+        )
+        out = sel * new_points
+        pages = out / self._bf()
+        seconds = (
+            self.cost_model.predict(step_names.PROJECT_WRITE, [n, 1.0])
+            + self.cost_model.predict(
+                step_names.PROJECT_SORT, [_nlogn(n), n, 1.0]
+            )
+            + self.cost_model.predict(step_names.PROJECT_DEDUPE, [n, pages, 1.0])
+        )
+        return ctx.store(self, StagePrediction(seconds, out, new_points))

@@ -1,0 +1,424 @@
+"""Staged query plans — wiring expressions to the staged engine.
+
+A :class:`StagedPlan` turns ``COUNT(E)`` into its inclusion–exclusion terms,
+builds one staged operator tree per term over **shared** per-relation scans,
+and exposes the three operations the time-constrained executor needs:
+
+* :meth:`predict_stage` — price a candidate sample fraction with the
+  adaptive cost model (the ``QCOST(f, SEL⁺)`` of Section 3.3, summed over
+  terms, shared scans priced once);
+* :meth:`advance_stage` — execute one stage over fresh sample blocks;
+* :meth:`estimate` — the current ``COUNT(E)`` estimate: per term the SRS
+  point-space estimator ``û`` (or the revised Goodman estimator when the
+  term's root is a projection), combined with the terms' ± coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.costmodel.model import CostModel
+from repro.engine.nodes import (
+    PredictContext,
+    SelProvider,
+    StagedIntersect,
+    StagedJoin,
+    StagedNode,
+    StagedProject,
+    StagedScan,
+    StagedSelect,
+)
+from repro.errors import EstimationError, ExpressionError
+from repro.estimation.aggregates import (
+    COUNT,
+    AggregateSpec,
+    StreamingMoments,
+    avg_from_sum_count,
+    srs_sum_estimate,
+)
+from repro.estimation.count_estimators import (
+    combine_term_estimates,
+    srs_count_estimate,
+)
+from repro.estimation.estimate import Estimate
+from repro.estimation.goodman import goodman_estimate
+from repro.estimation.selectivity import SelectivityTracker
+from repro.relational.expression import (
+    Expression,
+    Intersect,
+    Join,
+    Project,
+    RelationRef,
+    Select,
+)
+from repro.relational.inclusion_exclusion import expand_count
+from repro.sampling.point_space import PointSpace
+from repro.sampling.sampler import BlockSampler
+from repro.storage.heapfile import DEFAULT_BLOCK_SIZE
+from repro.timekeeping.charger import CostCharger
+
+DEFAULT_INITIAL_SELECTIVITY = {
+    "select": 1.0,
+    "join": 1.0,
+    "project": 1.0,
+    # Intersect defaults to 1/max(|r1|,|r2|) computed per node (Figure 3.3);
+    # an entry here overrides that.
+}
+
+
+@dataclass
+class StagedTerm:
+    """One signed SJIP term with its staged tree and point space."""
+
+    coefficient: int
+    root: StagedNode
+    space: PointSpace
+    value_index: int | None = None
+    moments: StreamingMoments = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.moments is None:
+            self.moments = StreamingMoments()
+
+    def sum_estimate(self) -> Estimate:
+        """Current SUM estimate of this term alone."""
+        if self.root.points_so_far == 0:
+            raise EstimationError("no stages completed yet")
+        return srs_sum_estimate(
+            self.space.total_points, self.root.points_so_far, self.moments
+        )
+
+    def estimate(self, rng: np.random.Generator | None = None) -> Estimate:
+        """Current COUNT estimate of this term alone."""
+        root = self.root
+        if isinstance(root, StagedProject):
+            return self._project_estimate(root, rng)
+        if root.points_so_far == 0:
+            raise EstimationError("no stages completed yet")
+        return srs_count_estimate(
+            self.space.total_points, root.points_so_far, root.cum_out_tuples
+        )
+
+    def _project_estimate(
+        self, root: StagedProject, rng: np.random.Generator | None
+    ) -> Estimate:
+        points = root.points_so_far
+        if points == 0:
+            raise EstimationError("no stages completed yet")
+        ones = root.observed_child_tuples
+        if ones == 0:
+            return Estimate(
+                value=0.0,
+                variance=0.0,
+                sample_points=points,
+                population_points=self.space.total_points,
+                exact=points == self.space.total_points,
+            )
+        # Estimate the 1-point population, then the classes within it.
+        ones_total = srs_count_estimate(self.space.total_points, points, ones)
+        population = max(int(round(ones_total.value)), ones)
+        return goodman_estimate(
+            population, ones, list(root.occupancy.values()), rng=rng
+        )
+
+
+@dataclass
+class StageStats:
+    """Execution record of one completed stage of a plan."""
+
+    stage: int
+    fraction: float
+    blocks_read: int
+    new_points: int
+    new_outputs: int
+
+
+class StagedPlan:
+    """The staged, multi-term evaluation plan of one COUNT query."""
+
+    def __init__(
+        self,
+        expr: Expression,
+        catalog: Catalog,
+        charger: CostCharger,
+        cost_model: CostModel,
+        rng: np.random.Generator,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        full_fulfillment: bool = True,
+        initial_selectivities: dict[str, float] | None = None,
+        zero_fix_beta: float | None = None,
+        aggregate: AggregateSpec = COUNT,
+        hint_provider=None,
+        pin_selectivities: bool = False,
+    ) -> None:
+        self.expr = expr
+        self.aggregate = aggregate
+        self._hint_provider = hint_provider
+        self._pin_selectivities = pin_selectivities
+        if pin_selectivities and hint_provider is None:
+            raise EstimationError(
+                "pin_selectivities needs a hint provider (prestored mode)"
+            )
+        self.catalog = catalog
+        self.charger = charger
+        self.cost_model = cost_model
+        self.rng = rng
+        self.block_size = block_size
+        self.full_fulfillment = full_fulfillment
+        self._initial = dict(DEFAULT_INITIAL_SELECTIVITY)
+        if initial_selectivities:
+            self._initial.update(initial_selectivities)
+
+        expr.schema(catalog)  # validate the query up front
+        from repro.storage.spool import Spool
+
+        self.spool = Spool(block_size)
+        self._scans: dict[str, StagedScan] = {}
+        self._label_counter = 0
+        self.terms: list[StagedTerm] = []
+        if aggregate.needs_values and expr.contains_projection():
+            raise EstimationError(
+                f"{aggregate.kind.upper()} over a projection is undefined "
+                "(the population becomes groups, not tuples); aggregate "
+                "before projecting or use COUNT"
+            )
+        for count_term in expand_count(expr):
+            root = self._build(count_term.expression)
+            scans = root.base_scans()
+            space = PointSpace(
+                relation_names=tuple(s.relation.name for s in scans),
+                tuple_counts=tuple(s.relation.tuple_count for s in scans),
+                block_counts=tuple(s.relation.block_count for s in scans),
+            )
+            value_index = (
+                root.schema.index_of(aggregate.attribute)
+                if aggregate.needs_values
+                else None
+            )
+            self.terms.append(
+                StagedTerm(
+                    count_term.coefficient, root, space, value_index=value_index
+                )
+            )
+        if zero_fix_beta is not None:
+            for tracker in self.trackers():
+                tracker.zero_fix_beta = zero_fix_beta
+        self.stages_completed = 0
+        self.history: list[StageStats] = []
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def _common_kwargs(self) -> dict:
+        return dict(
+            charger=self.charger,
+            cost_model=self.cost_model,
+            block_size=self.block_size,
+            full_fulfillment=self.full_fulfillment,
+            spool=self.spool,
+        )
+
+    def _next_label(self, kind: str) -> str:
+        self._label_counter += 1
+        return f"{kind}#{self._label_counter}"
+
+    def _initial_for(self, expr: Expression, default: float) -> tuple[float, bool]:
+        """Initial selectivity for an operator node and whether it came
+        from a prestored hint (Figure 3.3's maximum otherwise)."""
+        if self._hint_provider is not None:
+            hinted = self._hint_provider(expr)
+            if hinted is not None:
+                return min(max(hinted, 1e-12), 1.0), True
+        return default, False
+
+    def _finish_node(self, node: StagedNode, hinted: bool) -> StagedNode:
+        if hinted and self._pin_selectivities and node.tracker is not None:
+            node.tracker.pinned = True
+        return node
+
+    def _build(self, expr: Expression) -> StagedNode:
+        if isinstance(expr, RelationRef):
+            if expr.name not in self._scans:
+                relation = self.catalog.get(expr.name)
+                self._scans[expr.name] = StagedScan(
+                    relation,
+                    BlockSampler(relation, self.rng),
+                    **self._common_kwargs(),
+                )
+            return self._scans[expr.name]
+        if isinstance(expr, Select):
+            child = self._build(expr.child)
+            initial, hinted = self._initial_for(expr, self._initial["select"])
+            return self._finish_node(
+                StagedSelect(
+                    child,
+                    expr.predicate.compile(child.schema),
+                    expr.predicate.comparison_count(),
+                    label=self._next_label("select"),
+                    initial_selectivity=initial,
+                    **self._common_kwargs(),
+                ),
+                hinted,
+            )
+        if isinstance(expr, Project):
+            child = self._build(expr.child)
+            initial, hinted = self._initial_for(expr, self._initial["project"])
+            return self._finish_node(
+                StagedProject(
+                    child,
+                    expr.attrs,
+                    label=self._next_label("project"),
+                    initial_selectivity=initial,
+                    **self._common_kwargs(),
+                ),
+                hinted,
+            )
+        if isinstance(expr, Join):
+            left = self._build(expr.left)
+            right = self._build(expr.right)
+            initial, hinted = self._initial_for(expr, self._initial["join"])
+            return self._finish_node(
+                StagedJoin(
+                    left,
+                    right,
+                    expr.on,
+                    label=self._next_label("join"),
+                    initial_selectivity=initial,
+                    **self._common_kwargs(),
+                ),
+                hinted,
+            )
+        if isinstance(expr, Intersect):
+            left = self._build(expr.left)
+            right = self._build(expr.right)
+            default = self._initial.get(
+                "intersect", 1.0 / max(left.space_points(), right.space_points())
+            )
+            initial, hinted = self._initial_for(expr, default)
+            return self._finish_node(
+                StagedIntersect(
+                    left,
+                    right,
+                    label=self._next_label("intersect"),
+                    initial_selectivity=initial,
+                    **self._common_kwargs(),
+                ),
+                hinted,
+            )
+        raise ExpressionError(
+            f"non-SJIP node {type(expr).__name__} survived inclusion–exclusion"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def scans(self) -> list[StagedScan]:
+        return list(self._scans.values())
+
+    def trackers(self) -> list[SelectivityTracker]:
+        """All operator selectivity trackers, deduplicated, tree order."""
+        seen: set[int] = set()
+        out: list[SelectivityTracker] = []
+        for term in self.terms:
+            for node in term.root.iter_nodes():
+                tracker = node.tracker
+                if tracker is not None and id(tracker) not in seen:
+                    seen.add(id(tracker))
+                    out.append(tracker)
+        return out
+
+    def blocks_drawn(self) -> int:
+        return sum(scan.blocks_drawn for scan in self.scans)
+
+    def all_exhausted(self) -> bool:
+        return all(scan.exhausted for scan in self.scans)
+
+    def max_remaining_fraction(self) -> float:
+        """Upper bisection bound: the largest per-relation fraction left."""
+        fractions = [
+            scan.sampler.remaining_blocks / scan.relation.block_count
+            for scan in self.scans
+            if scan.relation.block_count
+        ]
+        return max(fractions, default=0.0)
+
+    def min_feasible_fraction(self) -> float:
+        """Fraction that draws at least one new block somewhere."""
+        fractions = [
+            1.0 / scan.relation.block_count
+            for scan in self.scans
+            if not scan.exhausted
+        ]
+        return min(fractions, default=0.0)
+
+    # ------------------------------------------------------------------
+    # Controller operations
+    # ------------------------------------------------------------------
+    def predict_stage(self, fraction: float, sel_provider: SelProvider) -> float:
+        """``QCOST(f, SEL)`` of the next stage across all terms (seconds)."""
+        ctx = PredictContext(fraction, sel_provider)
+        for term in self.terms:
+            term.root.predict(ctx)
+        return ctx.total_seconds
+
+    def advance_stage(self, fraction: float) -> StageStats:
+        """Execute the next stage at ``fraction``; returns its statistics."""
+        if fraction <= 0:
+            raise EstimationError(f"stage fraction must be positive: {fraction}")
+        stage = self.stages_completed + 1
+        blocks_before = self.blocks_drawn()
+        for scan in self.scans:
+            scan.advance(stage, fraction)
+        new_outputs = 0
+        new_points = 0
+        for term in self.terms:
+            before_points = term.root.points_so_far
+            before_out = term.root.cum_out_tuples
+            new_rows = term.root.advance(stage)
+            if term.value_index is not None:
+                term.moments.add_many(row[term.value_index] for row in new_rows)
+            new_points += term.root.points_so_far - before_points
+            new_outputs += term.root.cum_out_tuples - before_out
+        self.stages_completed = stage
+        stats = StageStats(
+            stage=stage,
+            fraction=fraction,
+            blocks_read=self.blocks_drawn() - blocks_before,
+            new_points=new_points,
+            new_outputs=new_outputs,
+        )
+        self.history.append(stats)
+        return stats
+
+    def estimate(self) -> Estimate:
+        """Current combined f(E) estimate (per the configured aggregate)."""
+        if self.aggregate.kind == "count":
+            return self._count_estimate()
+        if self.aggregate.kind == "sum":
+            return self._sum_estimate()
+        return self._avg_estimate()
+
+    def _count_estimate(self) -> Estimate:
+        pairs = [(t.coefficient, t.estimate(self.rng)) for t in self.terms]
+        if len(pairs) == 1 and pairs[0][0] == 1:
+            return pairs[0][1]
+        return combine_term_estimates(pairs)
+
+    def _sum_estimate(self) -> Estimate:
+        pairs = [(t.coefficient, t.sum_estimate()) for t in self.terms]
+        if len(pairs) == 1 and pairs[0][0] == 1:
+            return pairs[0][1]
+        return combine_term_estimates(pairs)
+
+    def _avg_estimate(self) -> Estimate:
+        count = self._count_estimate()
+        total = self._sum_estimate()
+        merged = StreamingMoments()
+        for term in self.terms:
+            merged.merge(term.moments.scaled(term.coefficient))
+        return avg_from_sum_count(total, count, merged)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Timing-related control flow (the hard-deadline "timer
+interrupt" of the paper) uses :class:`QuotaExpired`, which intentionally does
+*not* derive from :class:`ReproError`: it is a control signal raised by the
+clock substrate, not a programming or data error, and must never be swallowed
+by broad ``except ReproError`` handlers inside operators.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class CatalogError(ReproError):
+    """A relation name is unknown or already registered."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad block id, overfull block)."""
+
+
+class ExpressionError(ReproError):
+    """A relational-algebra expression is malformed for the requested use."""
+
+
+class EstimationError(ReproError):
+    """An estimator was asked for a quantity it cannot produce."""
+
+
+class CostModelError(ReproError):
+    """A time-cost formula was evaluated with inconsistent inputs."""
+
+
+class TimeControlError(ReproError):
+    """A time-control strategy or the staged executor was misconfigured."""
+
+
+class SamplingExhausted(ReproError):
+    """A sampling plan was asked for more units than remain unsampled."""
+
+
+class QuotaExpired(Exception):
+    """The hard time quota was crossed (the paper's timer interrupt).
+
+    Raised by :class:`repro.timekeeping.CostCharger` when a charge would move
+    the simulated (or wall) clock past an armed deadline and the charger is in
+    ``abort`` mode. The staged executor catches it at the stage boundary and
+    discards the aborted stage, mirroring the hard-time-constraint semantics
+    of Section 3.2 of the paper.
+    """
+
+    def __init__(self, deadline: float, now: float) -> None:
+        super().__init__(
+            f"time quota expired: deadline={deadline:.6f}s, clock={now:.6f}s"
+        )
+        self.deadline = deadline
+        self.now = now

@@ -1,0 +1,168 @@
+"""Run-time sample-selectivity estimation (Figures 3.3 and 3.5).
+
+The paper's *run-time estimation approach*: "the selectivity of an operation
+is estimated at run-time, and also the precision of the estimated sample
+selectivity is improved at run-time … it does not need any specific
+information about a query."
+
+One :class:`SelectivityTracker` exists per RA operator in the query. It
+implements:
+
+* **Revise-Selectivities** (Figure 3.3): before any data,
+  ``sel⁰`` is a configured maximum (1 for Select/Project/Join,
+  ``1/max(|r1|,|r2|)`` for Intersect); afterwards
+  ``sel^{i−1} = Σ_j tuples_j / Σ_j points_j`` over stages 1 … i−1.
+* **ComputeSel⁺** (Figure 3.5 / equation 3.3):
+  ``sel⁺ = sel^{i−1} + d_β · sqrt(Var(sel_i))`` with the simple-random-
+  sampling variance approximation
+  ``Var(sel_i) = sel(1−sel)(N_i − m_i)/(m_i(N_i − 1))``, where ``m_i`` is
+  the points the candidate stage would sample and ``N_i`` the points not yet
+  included. The approximation "usually gives a smaller value … some
+  inaccuracy in the risk control is expected" (Section 3.3) — exactly what
+  experiment 5.A observes as risk ≈ 50% at d_β = 0.
+* **The zero-selectivity fix** (Section 3.4): a stage observing zero output
+  tuples would freeze ``sel⁺`` at 0 and guarantee overspending later. The
+  paper fixes it with "a combinatorial formula (which is closed and easy to
+  compute)" from the unavailable tech report; we use the closed
+  hypergeometric upper bound ``sel = 1 − β^{1/M}`` (``M`` points observed,
+  confidence ``1−β``) — the largest selectivity still consistent, at level
+  β, with having seen no output tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EstimationError
+from repro.estimation.count_estimators import srs_selectivity_variance
+
+
+@dataclass(frozen=True)
+class StageObservation:
+    """One stage's (output tuples, sampled points) for an operator."""
+
+    tuples: int
+    points: int
+
+    def __post_init__(self) -> None:
+        if self.points < 0 or self.tuples < 0:
+            raise EstimationError(
+                f"negative stage observation ({self.tuples}, {self.points})"
+            )
+
+
+DEFAULT_ZERO_FIX_BETA = 0.05
+"""Confidence parameter of the zero-selectivity hypergeometric bound."""
+
+
+@dataclass
+class SelectivityTracker:
+    """Run-time selectivity state of one RA operator (see module docs)."""
+
+    label: str
+    initial: float
+    zero_fix_beta: float = DEFAULT_ZERO_FIX_BETA
+    pinned: bool = False
+    observations: list[StageObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.initial <= 1.0:
+            raise EstimationError(
+                f"{self.label}: initial selectivity must be in (0,1], "
+                f"got {self.initial}"
+            )
+        if not 0.0 < self.zero_fix_beta < 1.0:
+            raise EstimationError("zero_fix_beta must be in (0,1)")
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def record_stage(self, tuples: int, points: int) -> None:
+        """Record one completed stage's output count and sampled points."""
+        self.observations.append(StageObservation(tuples, points))
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(o.tuples for o in self.observations)
+
+    @property
+    def total_points(self) -> int:
+        return sum(o.points for o in self.observations)
+
+    @property
+    def stages_observed(self) -> int:
+        return len(self.observations)
+
+    # ------------------------------------------------------------------
+    # Revise-Selectivities (Figure 3.3)
+    # ------------------------------------------------------------------
+    @property
+    def sel_prev(self) -> float:
+        """``sel^{i−1}`` — pooled selectivity of all previous stages.
+
+        A *pinned* tracker (pure prestored mode, see
+        :mod:`repro.statistics.prestored`) always reports its configured
+        value and never learns from the samples.
+        """
+        if self.pinned:
+            return self.initial
+        points = self.total_points
+        if points == 0:
+            return self.initial
+        return self.total_tuples / points
+
+    def effective_sel_prev(self) -> float:
+        """``sel^{i−1}`` with the zero-selectivity fix applied."""
+        sel = self.sel_prev
+        if sel > 0.0:
+            return sel
+        return self.zero_selectivity_bound()
+
+    def zero_selectivity_bound(self) -> float:
+        """The closed-form bound used when all observed points were 0.
+
+        Largest selectivity ``S`` with ``P(no output in M draws) ≥ β``:
+        under with-replacement draws ``(1−S)^M ≥ β`` ⇒ ``S = 1 − β^{1/M}``
+        (a slight over-estimate versus the hypergeometric, i.e. safe).
+        """
+        observed = self.total_points
+        if observed <= 0:
+            return self.initial
+        return 1.0 - self.zero_fix_beta ** (1.0 / observed)
+
+    # ------------------------------------------------------------------
+    # ComputeSel+ (Figure 3.5 / equation 3.3)
+    # ------------------------------------------------------------------
+    def variance(self, candidate_points: int, space_points: int) -> float:
+        """SRS approximation of ``Var(sel_i)`` for a candidate stage size."""
+        if candidate_points <= 0:
+            raise EstimationError(
+                f"{self.label}: candidate stage must sample points"
+            )
+        remaining = space_points - self.total_points
+        if remaining <= 1:
+            return 0.0
+        m_i = min(candidate_points, remaining)
+        return srs_selectivity_variance(self.effective_sel_prev(), m_i, remaining)
+
+    def sel_plus(
+        self, d_beta: float, candidate_points: int, space_points: int
+    ) -> float:
+        """``sel⁺ = sel^{i−1} + d_β·sqrt(Var(sel_i))``, clamped to (0, 1]."""
+        if d_beta < 0:
+            raise EstimationError(f"d_beta must be non-negative, got {d_beta}")
+        if self.pinned:
+            return self.initial
+        if self.stages_observed == 0:
+            # Stage 1: no data — the assumed maximum selectivity stands alone.
+            return self.initial
+        sel = self.effective_sel_prev()
+        margin = d_beta * self.variance(candidate_points, space_points) ** 0.5
+        return min(max(sel + margin, 1e-12), 1.0)
+
+    # ------------------------------------------------------------------
+    # Series access (for the Single-Interval covariance machinery)
+    # ------------------------------------------------------------------
+    def per_stage_selectivities(self) -> list[float]:
+        """``sel_j`` per completed stage (stages with zero points skipped)."""
+        return [o.tuples / o.points for o in self.observations if o.points > 0]

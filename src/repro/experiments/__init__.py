@@ -1,0 +1,50 @@
+"""Experiment harness regenerating every evaluation table (system S17)."""
+
+from repro.experiments.ablations import (
+    ablation_adaptive_cost,
+    ablation_distinct_estimators,
+    ablation_estimator_quality,
+    ablation_fulfillment,
+    ablation_memory_resident,
+    ablation_selectivity_sources,
+    ablation_stopping,
+    ablation_strategies,
+    ablation_variance_formula,
+    ablation_zero_fix,
+)
+from repro.experiments.formatting import PAPER_COLUMNS, Table
+from repro.experiments.runner import CellResult, aggregate, run_cell
+from repro.experiments.tables import (
+    PAPER_FIGURE_5_1,
+    PAPER_FIGURE_5_2,
+    PAPER_FIGURE_5_3,
+    all_tables,
+    figure_5_1,
+    figure_5_2,
+    figure_5_3,
+)
+
+__all__ = [
+    "CellResult",
+    "PAPER_COLUMNS",
+    "PAPER_FIGURE_5_1",
+    "PAPER_FIGURE_5_2",
+    "PAPER_FIGURE_5_3",
+    "Table",
+    "ablation_adaptive_cost",
+    "ablation_distinct_estimators",
+    "ablation_estimator_quality",
+    "ablation_fulfillment",
+    "ablation_memory_resident",
+    "ablation_selectivity_sources",
+    "ablation_stopping",
+    "ablation_strategies",
+    "ablation_variance_formula",
+    "ablation_zero_fix",
+    "aggregate",
+    "all_tables",
+    "figure_5_1",
+    "figure_5_2",
+    "figure_5_3",
+    "run_cell",
+]

@@ -1,0 +1,19 @@
+"""Transaction-level deadline budgeting (the paper's [AbMo 88] use case)."""
+
+from repro.realtime.transaction import (
+    FeedbackAllocator,
+    ProportionalAllocator,
+    QueryTask,
+    QuotaAllocator,
+    TransactionResult,
+    TransactionScheduler,
+)
+
+__all__ = [
+    "FeedbackAllocator",
+    "ProportionalAllocator",
+    "QueryTask",
+    "QuotaAllocator",
+    "TransactionResult",
+    "TransactionScheduler",
+]

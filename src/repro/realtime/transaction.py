@@ -1,0 +1,190 @@
+"""Transaction-level quota budgeting — the paper's real-time motivation.
+
+Section 1: "Another use of our approach is in multiuser, realtime databases.
+By precisely fixing the execution times of database queries in a
+transaction, accurate estimates for transaction execution times become
+possible. This in turn plays an important role in minimizing the number of
+transactions that miss their deadlines [AbMo 88]."
+
+This module builds that layer on top of the per-query controller: a
+*transaction* is a sequence of aggregate queries sharing one deadline, and a
+:class:`QuotaAllocator` splits the deadline into per-query quotas. Because
+each query's execution time is pinned to its quota (that is the whole point
+of the paper), the transaction's completion time becomes predictable and the
+scheduler can enforce its deadline:
+
+* :class:`ProportionalAllocator` — split the whole budget up front by
+  weight; simple, but time a query leaves unused is lost.
+* :class:`FeedbackAllocator` — re-split the *remaining* budget before each
+  query, so early finishers (e.g. error-constrained stops) donate their
+  leftover to the queries still to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.database import Database
+from repro.core.result import QueryResult
+from repro.errors import TimeControlError
+from repro.estimation.aggregates import COUNT, AggregateSpec
+from repro.relational.expression import Expression
+from repro.timecontrol.stopping import StoppingCriterion
+from repro.timecontrol.strategies import OneAtATimeInterval
+
+
+@dataclass(frozen=True)
+class QueryTask:
+    """One aggregate query inside a transaction."""
+
+    name: str
+    expr: Expression
+    aggregate: AggregateSpec = COUNT
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TimeControlError("query task needs a name")
+        if self.weight <= 0:
+            raise TimeControlError(
+                f"task {self.name!r}: weight must be positive"
+            )
+
+
+class QuotaAllocator:
+    """Splits a transaction's time budget into per-query quotas."""
+
+    def allocate(
+        self, tasks: Sequence[QueryTask], index: int, remaining: float
+    ) -> float:
+        """Quota for ``tasks[index]`` given ``remaining`` seconds."""
+        raise NotImplementedError
+
+
+class ProportionalAllocator(QuotaAllocator):
+    """Static weight-proportional split of the *initial* budget.
+
+    The allocator is handed the remaining time but sizes each query by its
+    share of the total weight — leftover time from early finishers is not
+    redistributed (the baseline the feedback allocator improves on).
+    """
+
+    def __init__(self) -> None:
+        self._initial: float | None = None
+
+    def allocate(
+        self, tasks: Sequence[QueryTask], index: int, remaining: float
+    ) -> float:
+        if self._initial is None:
+            self._initial = remaining
+        total_weight = sum(t.weight for t in tasks)
+        return self._initial * tasks[index].weight / total_weight
+
+
+class FeedbackAllocator(QuotaAllocator):
+    """Re-split the remaining budget before each query (rolls leftover
+    forward), keeping weight proportions among the queries still to run."""
+
+    def allocate(
+        self, tasks: Sequence[QueryTask], index: int, remaining: float
+    ) -> float:
+        pending_weight = sum(t.weight for t in tasks[index:])
+        return remaining * tasks[index].weight / pending_weight
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of one deadline-bound transaction."""
+
+    deadline: float
+    results: dict[str, QueryResult] = field(default_factory=dict)
+    quotas: dict[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+    aborted_after: str | None = None
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.aborted_after is None and self.elapsed <= self.deadline
+
+    @property
+    def completed_queries(self) -> int:
+        return len(self.results)
+
+    def summary(self) -> str:
+        status = "MET" if self.met_deadline else "MISSED"
+        return (
+            f"transaction {status} deadline {self.deadline:g}s "
+            f"(elapsed {self.elapsed:.3f}s, "
+            f"{self.completed_queries} queries)"
+        )
+
+
+class TransactionScheduler:
+    """Runs query batches under one deadline with budgeted quotas."""
+
+    def __init__(
+        self,
+        database: Database,
+        allocator: QuotaAllocator | None = None,
+        strategy_factory=lambda: OneAtATimeInterval(d_beta=24.0),
+        stopping: StoppingCriterion | None = None,
+        min_query_quota: float = 1e-6,
+    ) -> None:
+        self.database = database
+        self.allocator = allocator if allocator is not None else FeedbackAllocator()
+        self.strategy_factory = strategy_factory
+        self.stopping = stopping
+        self.min_query_quota = min_query_quota
+
+    def run(
+        self,
+        tasks: Sequence[QueryTask],
+        deadline: float,
+        seed: int | None = None,
+        **estimate_kwargs,
+    ) -> TransactionResult:
+        """Execute ``tasks`` in order within ``deadline`` seconds total.
+
+        Each query consumes the simulated time its run actually took (its
+        completed stages plus any overspend), not its nominal quota, so
+        leftover time is visible to the allocator. If the budget for a
+        query falls below ``min_query_quota`` the transaction aborts —
+        mirroring a real-time scheduler killing a transaction that can no
+        longer meet its deadline.
+        """
+        if deadline <= 0:
+            raise TimeControlError(f"deadline must be positive: {deadline}")
+        if not tasks:
+            raise TimeControlError("transaction needs at least one query")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise TimeControlError(f"duplicate task names in {names}")
+
+        outcome = TransactionResult(deadline=deadline)
+        remaining = deadline
+        for index, task in enumerate(tasks):
+            quota = min(
+                self.allocator.allocate(tasks, index, remaining), remaining
+            )
+            if quota < self.min_query_quota:
+                outcome.aborted_after = task.name
+                break
+            result = self.database.count_estimate(
+                task.expr,
+                quota=quota,
+                strategy=self.strategy_factory(),
+                stopping=self.stopping,
+                aggregate=task.aggregate,
+                seed=None if seed is None else seed + index,
+                **estimate_kwargs,
+            )
+            consumed = sum(s.duration for s in result.report.stages)
+            outcome.results[task.name] = result
+            outcome.quotas[task.name] = quota
+            outcome.elapsed += consumed
+            remaining = deadline - outcome.elapsed
+            if remaining <= 0 and index < len(tasks) - 1:
+                outcome.aborted_after = task.name
+                break
+        return outcome

@@ -1,0 +1,158 @@
+"""Inclusion–exclusion rewrite of COUNT queries.
+
+Section 2 of the paper: "We first transform COUNT(E) into Σ ± COUNT(E_i')
+using the Principle of Inclusion and Exclusion [Liu 68], where E_i' is an RA
+expression containing only Select, Join, Intersect and Project operations."
+
+We implement the transform as an *indicator-polynomial expansion*. Every set
+operation has an indicator identity over its inputs' indicator functions::
+
+    1[A ∪ B] = 1[A] + 1[B] − 1[A]·1[B]
+    1[A − B] = 1[A] − 1[A]·1[B]
+    1[A ∩ B] = 1[A]·1[B]          (a product term *is* an Intersect)
+
+and Select / Join are (bi)linear over signed sums of sets, so an arbitrary
+expression expands into a signed sum of SJI(P) terms. Summing indicators
+over the domain turns the identity into the COUNT identity the paper uses::
+
+    COUNT(E) = Σ_i  coef_i · COUNT(term_i)
+
+Projection is the one non-linear operator: ``π`` distributes over Union
+(``π(A∪B) = π(A) ∪ π(B)``) but **not** over Difference. We therefore push
+projections through unions first and reject a Difference beneath a
+Projection — the paper's framework (Goodman's estimator per SJIP term) has
+the same boundary.
+
+Structurally equal terms are merged (so ``COUNT(A ∪ A)`` collapses to
+``COUNT(A)``), and ``Intersect(X, X)`` simplifies to ``X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExpressionError
+from repro.relational.expression import (
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class CountTerm:
+    """One signed SJIP term of the expanded COUNT."""
+
+    coefficient: int
+    expression: Expression
+
+
+def expand_count(expr: Expression) -> list[CountTerm]:
+    """Expand ``COUNT(expr)`` into signed SJIP terms (see module docs).
+
+    The result always satisfies ``COUNT(expr) == Σ coef·COUNT(term)`` under
+    set semantics; terms with coefficient zero are dropped.
+    """
+    pushed = _push_project(expr)
+    terms = _poly(pushed)
+    merged: dict[Expression, int] = {}
+    order: list[Expression] = []
+    for coef, term in terms:
+        if term not in merged:
+            merged[term] = 0
+            order.append(term)
+        merged[term] += coef
+    return [
+        CountTerm(merged[t], t) for t in order if merged[t] != 0
+    ]
+
+
+def _push_project(expr: Expression) -> Expression:
+    """Distribute projections through unions; reject project-over-difference."""
+    if isinstance(expr, RelationRef):
+        return expr
+    if isinstance(expr, Select):
+        return Select(_push_project(expr.child), expr.predicate)
+    if isinstance(expr, Project):
+        child = _push_project(expr.child)
+        if isinstance(child, Union):
+            return Union(
+                _push_project(Project(child.left, expr.attrs)),
+                _push_project(Project(child.right, expr.attrs)),
+            )
+        if _contains_difference(child):
+            raise ExpressionError(
+                "COUNT of a Projection over a Difference has no "
+                "inclusion–exclusion expansion; rewrite the query so the "
+                "difference is above the projection"
+            )
+        return Project(child, expr.attrs)
+    if isinstance(expr, Join):
+        return Join(_push_project(expr.left), _push_project(expr.right), expr.on)
+    if isinstance(expr, Intersect):
+        return Intersect(_push_project(expr.left), _push_project(expr.right))
+    if isinstance(expr, Union):
+        return Union(_push_project(expr.left), _push_project(expr.right))
+    if isinstance(expr, Difference):
+        return Difference(_push_project(expr.left), _push_project(expr.right))
+    raise ExpressionError(f"unknown expression node {type(expr).__name__}")
+
+
+def _contains_difference(expr: Expression) -> bool:
+    return any(isinstance(n, Difference) for n in expr.walk())
+
+
+def _poly(expr: Expression) -> list[tuple[int, Expression]]:
+    """Signed-sum-of-SJIP-terms expansion (indicator polynomial)."""
+    if isinstance(expr, RelationRef):
+        return [(1, expr)]
+    if isinstance(expr, Select):
+        return [
+            (coef, Select(term, expr.predicate)) for coef, term in _poly(expr.child)
+        ]
+    if isinstance(expr, Project):
+        child_terms = _poly(expr.child)
+        # _push_project guarantees a union/difference-free child here, so the
+        # child polynomial is a single positive term.
+        if len(child_terms) != 1 or child_terms[0][0] != 1:
+            raise ExpressionError(
+                "internal: projection child expanded to multiple terms"
+            )
+        return [(1, Project(child_terms[0][1], expr.attrs))]
+    if isinstance(expr, Join):
+        return [
+            (lc * rc, Join(lt, rt, expr.on))
+            for lc, lt in _poly(expr.left)
+            for rc, rt in _poly(expr.right)
+        ]
+    if isinstance(expr, Intersect):
+        return [
+            (lc * rc, _intersect(lt, rt))
+            for lc, lt in _poly(expr.left)
+            for rc, rt in _poly(expr.right)
+        ]
+    if isinstance(expr, Union):
+        left, right = _poly(expr.left), _poly(expr.right)
+        both = [
+            (-lc * rc, _intersect(lt, rt)) for lc, lt in left for rc, rt in right
+        ]
+        return left + right + both
+    if isinstance(expr, Difference):
+        left, right = _poly(expr.left), _poly(expr.right)
+        both = [
+            (-lc * rc, _intersect(lt, rt)) for lc, lt in left for rc, rt in right
+        ]
+        return left + both
+    raise ExpressionError(f"unknown expression node {type(expr).__name__}")
+
+
+def _intersect(left: Expression, right: Expression) -> Expression:
+    """Build ``left ∩ right`` with the idempotence shortcut ``X ∩ X = X``."""
+    if left == right:
+        return left
+    return Intersect(left, right)

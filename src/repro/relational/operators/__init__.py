@@ -1,0 +1,31 @@
+"""Charged operator primitives shared by the exact and staged engines."""
+
+from repro.relational.operators.merge import (
+    merge_difference,
+    merge_intersect,
+    merge_join,
+    merge_union,
+)
+from repro.relational.operators.sort import (
+    external_sort,
+    key_for_positions,
+    whole_row_key,
+)
+from repro.relational.operators.unary import (
+    apply_select,
+    dedupe_sorted,
+    project_rows,
+)
+
+__all__ = [
+    "apply_select",
+    "dedupe_sorted",
+    "external_sort",
+    "key_for_positions",
+    "merge_difference",
+    "merge_intersect",
+    "merge_join",
+    "merge_union",
+    "project_rows",
+    "whole_row_key",
+]

@@ -1,0 +1,183 @@
+"""Selection formulas.
+
+The paper's selection operator takes a *selection formula* — in the
+experiments "a selection formula containing only one integer comparison"
+(Section 5.A) — and its cost formula charges per-tuple predicate checks whose
+coefficient depends on the number of comparisons in the formula (Section 4:
+coefficients "emphasize specific characteristics of a query such as ...
+comparisons in selection formulas").
+
+Predicates are small immutable ASTs: :class:`Comparison` leaves combined with
+:class:`And` / :class:`Or` / :class:`Not`. A predicate is *compiled* against
+a schema into a fast row -> bool callable, and exposes
+:meth:`Predicate.comparison_count` as a cost-model feature.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.catalog.schema import Schema
+from repro.errors import ExpressionError
+from repro.storage.block import Row
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Predicate:
+    """Abstract base of all selection formulas."""
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        """Bind attribute names to positions; returns a row predicate."""
+        raise NotImplementedError
+
+    def comparison_count(self) -> int:
+        """Number of atomic comparisons (a cost-model feature)."""
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        """Attribute names referenced by the formula."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attr <op> constant`` or ``attr <op> attr`` (when rhs is :class:`Attr`)."""
+
+    attr: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ExpressionError(
+                f"unknown comparison operator {self.op!r}; "
+                f"choose from {sorted(_OPS)}"
+            )
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        idx = schema.index_of(self.attr)
+        fn = _OPS[self.op]
+        if isinstance(self.value, Attr):
+            other = schema.index_of(self.value.name)
+            return lambda row: fn(row[idx], row[other])
+        constant = self.value
+        return lambda row: fn(row[idx], constant)
+
+    def comparison_count(self) -> int:
+        return 1
+
+    def attributes(self) -> set[str]:
+        names = {self.attr}
+        if isinstance(self.value, Attr):
+            names.add(self.value.name)
+        return names
+
+
+@dataclass(frozen=True)
+class Attr:
+    """Marker wrapping an attribute name used on a comparison's right side."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of sub-formulas."""
+
+    parts: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ExpressionError("And needs at least two sub-predicates")
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        fns = [p.compile(schema) for p in self.parts]
+        return lambda row: all(fn(row) for fn in fns)
+
+    def comparison_count(self) -> int:
+        return sum(p.comparison_count() for p in self.parts)
+
+    def attributes(self) -> set[str]:
+        return set().union(*(p.attributes() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of sub-formulas."""
+
+    parts: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ExpressionError("Or needs at least two sub-predicates")
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        fns = [p.compile(schema) for p in self.parts]
+        return lambda row: any(fn(row) for fn in fns)
+
+    def comparison_count(self) -> int:
+        return sum(p.comparison_count() for p in self.parts)
+
+    def attributes(self) -> set[str]:
+        return set().union(*(p.attributes() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a sub-formula."""
+
+    part: Predicate
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        fn = self.part.compile(schema)
+        return lambda row: not fn(row)
+
+    def comparison_count(self) -> int:
+        return self.part.comparison_count()
+
+    def attributes(self) -> set[str]:
+        return self.part.attributes()
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Always-true formula (selects everything); zero comparisons."""
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        return lambda row: True
+
+    def comparison_count(self) -> int:
+        return 0
+
+    def attributes(self) -> set[str]:
+        return set()
+
+
+def attr(name: str) -> Attr:
+    """Reference an attribute on the right-hand side of a comparison."""
+    return Attr(name)
+
+
+def cmp(attribute: str, op: str, value: Any) -> Comparison:
+    """Shorthand constructor: ``cmp("a", "<", 500)``."""
+    return Comparison(attribute, op, value)

@@ -1,0 +1,12 @@
+"""Prestored statistics: histograms, ANALYZE, selectivity hints."""
+
+from repro.statistics.histogram import EquiDepthHistogram
+from repro.statistics.prestored import SelectivityHinter
+from repro.statistics.stats import RelationStatistics, analyze
+
+__all__ = [
+    "EquiDepthHistogram",
+    "RelationStatistics",
+    "SelectivityHinter",
+    "analyze",
+]

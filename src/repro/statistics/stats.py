@@ -1,0 +1,65 @@
+"""Relation statistics — the ANALYZE side of prestored selectivities.
+
+The paper (Section 3.1): "Prestored selectivities … can be obtained by
+pre-evaluating (partially or completely) the query with input relations.
+This approach is simple and may have a very good performance. However, an
+extra effort is needed to maintain the set of stored selectivities when
+there are changes to the database." :func:`analyze` is that extra effort:
+one offline pass per relation building per-attribute equi-depth histograms
+and distinct counts. The estimation side lives in
+:mod:`repro.statistics.prestored`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.catalog.types import AttributeType
+from repro.errors import EstimationError
+from repro.statistics.histogram import EquiDepthHistogram
+from repro.storage.heapfile import HeapFile
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Prestored statistics of one relation."""
+
+    relation: str
+    tuple_count: int
+    histograms: Mapping[str, EquiDepthHistogram] = field(default_factory=dict)
+
+    def histogram(self, attribute: str) -> EquiDepthHistogram:
+        try:
+            return self.histograms[attribute]
+        except KeyError:
+            raise EstimationError(
+                f"no histogram for {self.relation}.{attribute}; "
+                "re-run analyze() after schema changes"
+            ) from None
+
+    def has(self, attribute: str) -> bool:
+        return attribute in self.histograms
+
+    def distinct(self, attribute: str) -> int:
+        return self.histogram(attribute).distinct
+
+
+def analyze(relation: HeapFile, buckets: int = 32) -> RelationStatistics:
+    """Build statistics for every numeric attribute of ``relation``.
+
+    Uncharged: statistics maintenance is offline work outside any quota,
+    exactly as the paper frames the prestored approach.
+    """
+    rows = relation.all_rows()
+    histograms: dict[str, EquiDepthHistogram] = {}
+    for index, attribute in enumerate(relation.schema.attributes):
+        if attribute.type not in (AttributeType.INT, AttributeType.FLOAT):
+            continue
+        values = [row[index] for row in rows]
+        histograms[attribute.name] = EquiDepthHistogram.build(values, buckets)
+    return RelationStatistics(
+        relation=relation.name,
+        tuple_count=relation.tuple_count,
+        histograms=histograms,
+    )

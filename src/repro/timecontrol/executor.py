@@ -1,0 +1,253 @@
+"""The time-constrained query evaluation algorithm (Figure 3.1).
+
+The executor runs the paper's while-loop: revise selectivities (implicit in
+the trackers), determine the stage's sample fraction, draw and evaluate the
+new sample blocks, recompute the estimate, and repeat until the stopping
+criterion fires. Two deadline behaviours:
+
+* ``measure_overspend=True`` (default, the experiments' mode): like ERAM,
+  "does not abort a query (stage) … when the query overspends", so the
+  overspent time — "the time needed to complete the very last stage that was
+  aborted" — can be measured and reported (Section 5). The overspending
+  stage's results are *not* part of the reported estimate.
+* ``measure_overspend=False`` with a hard criterion: the timer interrupt is
+  armed and a stage crossing the deadline is killed mid-flight via
+  :class:`~repro.errors.QuotaExpired`; the answer is whatever the last
+  completed stage produced — the deployment behaviour of a hard real-time
+  database.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.costmodel import steps as step_names
+from repro.engine.plan import StagedPlan
+from repro.errors import QuotaExpired, TimeControlError
+from repro.estimation.estimate import Estimate
+from repro.timecontrol.stopping import HardDeadline, StopState, StoppingCriterion
+from repro.timecontrol.strategies import (
+    FixedFractionHeuristic,
+    TimeControlStrategy,
+)
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.profile import CostKind
+
+
+@dataclass
+class StageReport:
+    """One attempted stage of a run."""
+
+    index: int
+    fraction: float
+    started_at: float
+    duration: float
+    blocks_read: int
+    new_points: int
+    new_outputs: int
+    completed_in_time: bool
+    aborted_mid_stage: bool
+    estimate: Estimate | None
+
+
+@dataclass
+class RunReport:
+    """Full record of one time-constrained COUNT evaluation.
+
+    ``estimate`` is the answer under hard-deadline semantics: the estimate
+    after the last stage that finished within the quota (``None`` if not
+    even stage 1 finished in time). ``estimate_with_overrun`` additionally
+    incorporates an overspent final stage, which is what a soft-deadline
+    client would receive.
+    """
+
+    quota: float
+    started_at: float
+    aggregate: str = "count"
+    stages: list[StageReport] = field(default_factory=list)
+    estimate: Estimate | None = None
+    estimate_with_overrun: Estimate | None = None
+    termination: str = ""
+    peak_temp_tuples: int = 0
+
+    # -- derived measures (the paper's table columns) -------------------
+    @property
+    def stages_completed_in_time(self) -> int:
+        """The paper's "stages" column (completed within the quota)."""
+        return sum(1 for s in self.stages if s.completed_in_time)
+
+    @property
+    def overspent(self) -> bool:
+        """Did any stage run past the deadline ("risk" numerator)?"""
+        return any(not s.completed_in_time for s in self.stages)
+
+    @property
+    def overspend_seconds(self) -> float:
+        """Seconds past the quota spent finishing the aborted stage (ovsp)."""
+        if math.isinf(self.quota):
+            return 0.0
+        end = self.started_at + sum(s.duration for s in self.stages)
+        return max(end - (self.started_at + self.quota), 0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Share of the quota spent on stages that completed in time."""
+        if math.isinf(self.quota) or self.quota <= 0:
+            return 1.0
+        useful = sum(s.duration for s in self.stages if s.completed_in_time)
+        return min(useful / self.quota, 1.0)
+
+    @property
+    def blocks_within_quota(self) -> int:
+        """Disk blocks evaluated by in-time stages (the "blocks" column)."""
+        return sum(s.blocks_read for s in self.stages if s.completed_in_time)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(s.blocks_read for s in self.stages)
+
+
+class TimeConstrainedExecutor:
+    """Runs one staged plan under a quota with a strategy and a criterion."""
+
+    def __init__(
+        self,
+        plan: StagedPlan,
+        strategy: TimeControlStrategy,
+        stopping: StoppingCriterion | None = None,
+        measure_overspend: bool = True,
+        max_stages: int = 64,
+    ) -> None:
+        self.plan = plan
+        self.strategy = strategy
+        self.stopping = stopping if stopping is not None else HardDeadline()
+        self.measure_overspend = measure_overspend
+        self.max_stages = max_stages
+
+    def run(self, quota: float) -> RunReport:
+        """Evaluate the plan's COUNT within ``quota`` seconds."""
+        if quota <= 0:
+            raise TimeControlError(f"quota must be positive: {quota}")
+        charger: CostCharger = self.plan.charger
+        clock = charger.clock
+        start = clock.now()
+        deadline = start + quota
+        report = RunReport(
+            quota=quota,
+            started_at=start,
+            aggregate=self.plan.aggregate.kind,
+        )
+        live_hard = self.stopping.hard and not self.measure_overspend
+        if math.isfinite(deadline):
+            charger.arm(deadline, hard=live_hard)
+
+        estimates: list[Estimate] = []
+        try:
+            while len(report.stages) < self.max_stages:
+                now = clock.now()
+                remaining = deadline - now
+                if remaining <= 0:
+                    report.termination = "deadline"
+                    break
+                if self.plan.all_exhausted():
+                    report.termination = "exhausted"
+                    break
+                fraction = self.strategy.choose_fraction(
+                    self.plan, remaining, self.plan.stages_completed + 1
+                )
+                if fraction is None:
+                    report.termination = "no_feasible_stage"
+                    break
+                stage_report = self._run_stage(fraction, deadline)
+                report.stages.append(stage_report)
+                if stage_report.aborted_mid_stage:
+                    report.termination = "interrupted"
+                    break
+                if isinstance(self.strategy, FixedFractionHeuristic):
+                    self.strategy.note_stage(
+                        stage_report.duration, stage_report.blocks_read
+                    )
+                estimate = self.plan.estimate()
+                stage_report.estimate = estimate
+                estimates.append(estimate)
+                if stage_report.completed_in_time:
+                    report.estimate = estimate
+                else:
+                    report.estimate_with_overrun = estimate
+                    report.termination = "deadline"
+                    break
+                self._notify_stage_duration(stage_report.duration)
+                state = StopState(
+                    stage=stage_report.index,
+                    remaining_seconds=deadline - clock.now(),
+                    estimate=estimate,
+                    estimate_history=estimates,
+                    elapsed_seconds=clock.now() - start,
+                )
+                if self.stopping.should_stop(state):
+                    report.termination = (
+                        "deadline"
+                        if state.remaining_seconds <= 0
+                        else "stopping_criterion"
+                    )
+                    break
+            else:
+                report.termination = "max_stages"
+        finally:
+            charger.disarm()
+        report.peak_temp_tuples = self.plan.spool.peak_tuples
+        if report.estimate_with_overrun is None:
+            report.estimate_with_overrun = report.estimate
+        if not report.termination:
+            report.termination = "deadline"
+        return report
+
+    def _notify_stage_duration(self, seconds: float) -> None:
+        """Feed stage durations to criteria that model future stages."""
+        from repro.timecontrol.stopping import AnyOf, ValueFunction
+
+        criteria = (
+            self.stopping.criteria
+            if isinstance(self.stopping, AnyOf)
+            else (self.stopping,)
+        )
+        for criterion in criteria:
+            if isinstance(criterion, ValueFunction):
+                criterion.note_stage_duration(seconds)
+
+    def _run_stage(self, fraction: float, deadline: float) -> StageReport:
+        charger = self.plan.charger
+        clock = charger.clock
+        stage_index = self.plan.stages_completed + 1
+        started = clock.now()
+        aborted = False
+        blocks = 0
+        new_points = 0
+        new_outputs = 0
+        try:
+            with charger.measure() as overhead_meter:
+                charger.charge(CostKind.STAGE_OVERHEAD, 1)
+            self.plan.cost_model.observe(
+                step_names.STAGE_OVERHEAD, [1.0], overhead_meter.elapsed
+            )
+            stats = self.plan.advance_stage(fraction)
+            blocks = stats.blocks_read
+            new_points = stats.new_points
+            new_outputs = stats.new_outputs
+        except QuotaExpired:
+            aborted = True
+        duration = clock.now() - started
+        completed_in_time = (not aborted) and clock.now() <= deadline
+        return StageReport(
+            index=stage_index,
+            fraction=fraction,
+            started_at=started,
+            duration=duration,
+            blocks_read=blocks,
+            new_points=new_points,
+            new_outputs=new_outputs,
+            completed_in_time=completed_in_time,
+            aborted_mid_stage=aborted,
+            estimate=None,
+        )

@@ -1,0 +1,71 @@
+"""Sample-Size-Determine — the bisection of Figure 3.4.
+
+Given the amount of time ``T_i`` available for the stage and a monotone
+stage-cost function ``cost(f)`` (built by the strategy from the adaptive
+``QCOST`` formulas), find the sample fraction whose predicted cost is as
+close to ``T_i`` as possible without exceeding it:
+
+    while |μ_t − T_i| > ε:
+        if μ_t < T_i: low := f else high := f
+        f := (low + high) / 2
+
+``ε`` is "a system-defined constant denoting the tolerable error in choosing
+a μ_t as close to T_i as possible" — we express it as a fraction of ``T_i``.
+
+The bisection is wrapped with the practical boundary cases the paper's
+prototype needed: the smallest useful fraction (one new disk block), the
+largest (everything still unsampled — if that is affordable, take it all and
+finish the relation), and infeasibility (even one block would overspend —
+the stage is not started and the remaining quota is wasted, Section 5's
+"time left which is too small to start another stage").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TimeControlError
+
+CostFunction = Callable[[float], float]
+
+
+def determine_fraction(
+    cost: CostFunction,
+    budget_seconds: float,
+    min_fraction: float,
+    max_fraction: float,
+    epsilon_ratio: float = 0.02,
+    max_iterations: int = 48,
+) -> float | None:
+    """Largest fraction whose predicted cost fits ``budget_seconds``.
+
+    Returns ``None`` when no feasible stage exists (empty bounds or even the
+    minimum fraction overruns the budget).
+    """
+    if epsilon_ratio <= 0:
+        raise TimeControlError("epsilon_ratio must be positive")
+    if budget_seconds <= 0:
+        return None
+    if min_fraction <= 0 or max_fraction <= 0 or min_fraction > max_fraction:
+        return None
+    if cost(min_fraction) > budget_seconds:
+        return None
+    if cost(max_fraction) <= budget_seconds:
+        return max_fraction
+    epsilon = epsilon_ratio * budget_seconds
+    low, high = min_fraction, max_fraction
+    f = 0.5 * (low + high)
+    for _ in range(max_iterations):
+        mu = cost(f)
+        # Figure 3.4's loop condition: stop once μ_t is within ε of T_i —
+        # on either side. Accepting a predicted cost slightly above the
+        # budget is what makes d_β (not the bisection) carry the risk
+        # control, and why the risk sits near 50% at d_β = 0 (Section 5.A).
+        if abs(mu - budget_seconds) <= epsilon:
+            return f
+        if mu < budget_seconds:
+            low = f
+        else:
+            high = f
+        f = 0.5 * (low + high)
+    return low

@@ -1,0 +1,14 @@
+"""Clock, machine profile, and cost-charging substrate (system S2)."""
+
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.clock import Clock, SimulatedClock, WallClock
+from repro.timekeeping.profile import CostKind, MachineProfile
+
+__all__ = [
+    "Clock",
+    "CostCharger",
+    "CostKind",
+    "MachineProfile",
+    "SimulatedClock",
+    "WallClock",
+]

@@ -1,0 +1,163 @@
+"""The cost charger — simulated work, deadlines, and measurement.
+
+Every primitive operation in the storage and operator layers calls
+:meth:`CostCharger.charge`, which advances the clock by
+``rate(kind) * amount * jitter`` simulated seconds. Three concerns meet here:
+
+* **Ground truth.** The charger applies the *true* machine profile plus
+  multiplicative log-normal noise, so stage durations are realistically
+  uncertain from the controller's point of view.
+* **The timer interrupt.** :meth:`arm` installs a deadline. In ``hard`` mode
+  a charge that crosses it raises :class:`repro.errors.QuotaExpired`
+  mid-operation — the paper's hard time constraint, where "the execution is
+  interrupted whenever the time quota is consumed" (Section 3.2). In
+  ``record`` mode the crossing is only noted, which reproduces how the ERAM
+  measurements let the aborted stage run to completion so the overspent time
+  could be reported (Section 5).
+* **Measurement.** :meth:`measure` brackets a code region and returns its
+  elapsed charged time, which the adaptive cost model uses to refit its
+  coefficients (Section 4's "record the actual amount of time spent on each
+  step").
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import QuotaExpired, TimeControlError
+from repro.timekeeping.clock import Clock, SimulatedClock
+from repro.timekeeping.profile import CostKind, MachineProfile
+
+
+@dataclass
+class _Meter:
+    """Result object of a :meth:`CostCharger.measure` region."""
+
+    start: float
+    elapsed: float = 0.0
+
+
+class CostCharger:
+    """Charges simulated time for primitive operations (see module docs)."""
+
+    def __init__(
+        self,
+        profile: MachineProfile,
+        clock: Clock | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.profile = profile
+        self.clock: Clock = clock if clock is not None else SimulatedClock()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._deadline: float | None = None
+        self._hard = False
+        self._first_crossing: float | None = None
+        self.totals: dict[CostKind, float] = {k: 0.0 for k in CostKind}
+        self.counts: dict[CostKind, float] = {k: 0.0 for k in CostKind}
+
+    # ------------------------------------------------------------------
+    # Deadline (timer interrupt) management
+    # ------------------------------------------------------------------
+    def arm(self, deadline: float, hard: bool) -> None:
+        """Install the quota deadline (absolute clock time).
+
+        ``hard=True`` aborts mid-charge with :class:`QuotaExpired`;
+        ``hard=False`` records the first crossing and lets work continue.
+        """
+        if deadline < self.clock.now():
+            raise TimeControlError(
+                f"deadline {deadline:.6f} is already in the past "
+                f"(clock={self.clock.now():.6f})"
+            )
+        self._deadline = deadline
+        self._hard = hard
+        self._first_crossing = None
+
+    def disarm(self) -> None:
+        """Remove the deadline (keeps crossing information)."""
+        self._deadline = None
+
+    @property
+    def deadline(self) -> float | None:
+        return self._deadline
+
+    @property
+    def crossed_at(self) -> float | None:
+        """Clock value of the first charge that crossed the deadline."""
+        return self._first_crossing
+
+    def remaining(self) -> float:
+        """Seconds until the armed deadline (may be negative); inf if none."""
+        if self._deadline is None:
+            return math.inf
+        return self._deadline - self.clock.now()
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def charge(self, kind: CostKind, amount: float = 1.0) -> float:
+        """Charge ``amount`` units of ``kind``; returns seconds charged.
+
+        The charge is atomic: the clock advances by the full (jittered) cost
+        even if the deadline is crossed, because the underlying "work" was
+        in flight when the interrupt fired. ``QuotaExpired`` is raised after
+        the advance when the deadline is armed in hard mode.
+        """
+        if amount < 0:
+            raise TimeControlError(f"cannot charge negative amount {amount}")
+        if amount == 0:
+            return 0.0
+        seconds = self.profile.rate(kind) * amount
+        if self.profile.noise_sigma > 0 and seconds > 0:
+            sigma = self.profile.noise_sigma
+            # Mean-one log-normal jitter so expected cost matches the profile.
+            seconds *= float(
+                np.exp(self._rng.normal(-0.5 * sigma * sigma, sigma))
+            )
+        self.totals[kind] += seconds
+        self.counts[kind] += amount
+        now = self._advance(seconds)
+        if self._deadline is not None and now > self._deadline:
+            if self._first_crossing is None:
+                self._first_crossing = now
+            if self._hard:
+                deadline = self._deadline
+                self._deadline = None  # fire once
+                raise QuotaExpired(deadline, now)
+        return seconds
+
+    def _advance(self, seconds: float) -> float:
+        clock = self.clock
+        if isinstance(clock, SimulatedClock):
+            return clock.advance(seconds)
+        # Wall clock: real work takes real time; just observe it.
+        return clock.now()
+
+    # ------------------------------------------------------------------
+    # Measurement (for the adaptive cost model)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def measure(self) -> Iterator[_Meter]:
+        """Context manager measuring the charged time of its body."""
+        meter = _Meter(start=self.clock.now())
+        try:
+            yield meter
+        finally:
+            meter.elapsed = self.clock.now() - meter.start
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_charged(self) -> float:
+        """Total simulated seconds charged so far, across all kinds."""
+        return sum(self.totals.values())
+
+    def reset_accounting(self) -> None:
+        """Zero the per-kind totals/counts (clock is left untouched)."""
+        self.totals = {k: 0.0 for k in CostKind}
+        self.counts = {k: 0.0 for k in CostKind}

@@ -1,0 +1,65 @@
+"""Clock abstractions.
+
+The paper reads the workstation clock (``START-TIME`` / ``CURRENT-TIME`` in
+Figure 3.1) and arms a timer interrupt for the quota. We abstract that behind
+a tiny :class:`Clock` protocol with two implementations:
+
+* :class:`SimulatedClock` — a deterministic virtual clock advanced explicitly
+  by the :class:`repro.timekeeping.charger.CostCharger`. This is the default
+  for experiments: it makes 200-run tables reproducible and lets the true
+  cost of an aborted stage be known exactly (the paper's ``ovsp`` column).
+* :class:`WallClock` — ``time.perf_counter``; lets the very same controller
+  run against real elapsed time, which is how the library would be deployed
+  on a live system.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import TimeControlError
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface used across the library."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one run)."""
+        ...  # pragma: no cover - protocol
+
+
+class SimulatedClock:
+    """A virtual clock advanced explicitly in simulated seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise TimeControlError(f"clock cannot start negative: {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise TimeControlError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.6f})"
+
+
+class WallClock:
+    """Real elapsed time via ``time.perf_counter`` (zeroed at creation)."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def __repr__(self) -> str:
+        return f"WallClock(now={self.now():.6f})"

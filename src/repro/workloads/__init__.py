@@ -1,0 +1,45 @@
+"""Workload generators and the paper's experimental setups (system S16)."""
+
+from repro.workloads.generators import (
+    PAPER_RELATION_TUPLES,
+    PAPER_TUPLE_BYTES,
+    intersection_relations,
+    join_relations,
+    paper_schema,
+    rows_chunked,
+    selection_relation,
+    uniform_relation,
+    zipf_relation,
+)
+from repro.workloads.paper import (
+    D_BETA_GRID,
+    INTERSECTION_QUOTA,
+    JOIN_INITIAL_SELECTIVITY,
+    JOIN_QUOTA,
+    SELECTION_QUOTA,
+    PaperSetup,
+    make_intersection_setup,
+    make_join_setup,
+    make_selection_setup,
+)
+
+__all__ = [
+    "D_BETA_GRID",
+    "INTERSECTION_QUOTA",
+    "JOIN_INITIAL_SELECTIVITY",
+    "JOIN_QUOTA",
+    "PAPER_RELATION_TUPLES",
+    "PAPER_TUPLE_BYTES",
+    "SELECTION_QUOTA",
+    "PaperSetup",
+    "intersection_relations",
+    "join_relations",
+    "make_intersection_setup",
+    "make_join_setup",
+    "make_selection_setup",
+    "paper_schema",
+    "rows_chunked",
+    "selection_relation",
+    "uniform_relation",
+    "zipf_relation",
+]

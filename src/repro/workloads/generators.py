@@ -1,0 +1,182 @@
+"""Synthetic relation generators.
+
+All generators build rows for 200-byte tuples by default (the paper's tuple
+size): ``id`` (4 B int) + ``a`` (4 B int) + ``b`` (4 B int) + a 188-byte pad
+string, so a 1 KB block holds exactly 5 tuples and a 10 000-tuple relation
+occupies 2 000 blocks — the geometry of every experiment in Section 5.
+
+"Tuples in a relation are randomly distributed": every generator shuffles
+row order with the supplied RNG before loading, so block membership carries
+no information about attribute values (the property cluster sampling needs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.types import AttributeType
+from repro.errors import ReproError
+
+PAPER_TUPLE_BYTES = 200
+PAPER_RELATION_TUPLES = 10_000
+
+_PAD_WIDTH = PAPER_TUPLE_BYTES - 3 * 4  # three 4-byte ints + pad = 200 B
+_PAD = "x" * 8  # the stored value; width is declared by the schema
+
+
+def paper_schema() -> Schema:
+    """The 200-byte experimental tuple layout (id, a, b, pad)."""
+    return Schema(
+        (
+            Attribute("id", AttributeType.INT, 4),
+            Attribute("a", AttributeType.INT, 4),
+            Attribute("b", AttributeType.INT, 4),
+            Attribute("pad", AttributeType.STR, _PAD_WIDTH),
+        )
+    )
+
+
+def _shuffled(rows: list[tuple], rng: np.random.Generator) -> list[tuple]:
+    order = rng.permutation(len(rows))
+    return [rows[i] for i in order]
+
+
+def selection_relation(
+    rng: np.random.Generator,
+    tuples: int = PAPER_RELATION_TUPLES,
+    output_tuples: int = 1_000,
+) -> list[tuple]:
+    """A relation where ``a < output_tuples`` selects exactly that many rows.
+
+    ``a`` is a permutation of ``0 … tuples−1``, so any threshold predicate
+    has an exactly known output cardinality while values sit in random
+    blocks.
+    """
+    if not 0 <= output_tuples <= tuples:
+        raise ReproError(
+            f"output_tuples {output_tuples} outside [0, {tuples}]"
+        )
+    a_values = rng.permutation(tuples)
+    rows = [
+        (i, int(a_values[i]), int(rng.integers(0, 1_000_000)), _PAD)
+        for i in range(tuples)
+    ]
+    return _shuffled(rows, rng)
+
+
+def intersection_relations(
+    rng: np.random.Generator,
+    tuples: int = PAPER_RELATION_TUPLES,
+    common_tuples: int = PAPER_RELATION_TUPLES,
+) -> tuple[list[tuple], list[tuple]]:
+    """Two relations sharing exactly ``common_tuples`` identical tuples.
+
+    The Figure 5.2 experiment intersects two 10 000-tuple relations with
+    10 000 output tuples (identical content, independently shuffled block
+    layouts). Smaller ``common_tuples`` give partial overlap: non-shared
+    tuples get disjoint id ranges so they can never collide.
+    """
+    if not 0 <= common_tuples <= tuples:
+        raise ReproError(
+            f"common_tuples {common_tuples} outside [0, {tuples}]"
+        )
+    shared = [
+        (i, int(rng.integers(0, 10_000)), int(rng.integers(0, 10_000)), _PAD)
+        for i in range(common_tuples)
+    ]
+    only_r1 = [
+        (1_000_000 + i, int(rng.integers(0, 10_000)), 0, _PAD)
+        for i in range(tuples - common_tuples)
+    ]
+    only_r2 = [
+        (2_000_000 + i, int(rng.integers(0, 10_000)), 0, _PAD)
+        for i in range(tuples - common_tuples)
+    ]
+    r1 = _shuffled(shared + only_r1, rng)
+    r2 = _shuffled(shared + only_r2, rng)
+    return r1, r2
+
+
+def join_relations(
+    rng: np.random.Generator,
+    tuples: int = PAPER_RELATION_TUPLES,
+    fanout: int = 7,
+) -> tuple[list[tuple], list[tuple], int]:
+    """Two relations whose equi-join on ``a`` has a known output size.
+
+    Both relations repeat each join value ``fanout`` times over
+    ``tuples // fanout`` distinct values, so the join output is
+    ``(tuples // fanout) · fanout²`` tuples — ``fanout=7`` gives 69 972 ≈
+    the 70 000 output tuples of Figure 5.3. Leftover tuples get disjoint
+    non-matching values. Returns ``(rows1, rows2, exact_join_count)``.
+    """
+    if fanout <= 0 or fanout > tuples:
+        raise ReproError(f"fanout {fanout} outside [1, {tuples}]")
+    distinct = tuples // fanout
+    matched = distinct * fanout
+    values = [v for v in range(distinct) for _ in range(fanout)]
+
+    def build(id_base: int, orphan_base: int) -> list[tuple]:
+        rows = [
+            (id_base + i, values[i], int(rng.integers(0, 10_000)), _PAD)
+            for i in range(matched)
+        ]
+        rows += [
+            (id_base + matched + j, orphan_base + j, 0, _PAD)
+            for j in range(tuples - matched)
+        ]
+        return _shuffled(rows, rng)
+
+    r1 = build(0, 10_000_000)
+    r2 = build(5_000_000, 20_000_000)
+    return r1, r2, distinct * fanout * fanout
+
+
+def uniform_relation(
+    rng: np.random.Generator,
+    tuples: int,
+    a_range: int,
+    b_range: int = 1_000_000,
+) -> list[tuple]:
+    """Generic relation with uniform ``a`` in [0, a_range)."""
+    return _shuffled(
+        [
+            (
+                i,
+                int(rng.integers(0, a_range)),
+                int(rng.integers(0, b_range)),
+                _PAD,
+            )
+            for i in range(tuples)
+        ],
+        rng,
+    )
+
+
+def zipf_relation(
+    rng: np.random.Generator,
+    tuples: int,
+    a_range: int,
+    skew: float = 1.2,
+) -> list[tuple]:
+    """Relation with Zipf-skewed ``a`` — stresses projection/Goodman."""
+    if skew <= 1.0:
+        raise ReproError("numpy's zipf requires skew > 1")
+    raw = rng.zipf(skew, size=tuples)
+    a_values = (raw - 1) % a_range
+    return _shuffled(
+        [
+            (i, int(a_values[i]), int(rng.integers(0, 1_000_000)), _PAD)
+            for i in range(tuples)
+        ],
+        rng,
+    )
+
+
+def rows_chunked(rows: Sequence[tuple], chunk: int) -> Iterator[list[tuple]]:
+    """Yield ``rows`` in chunks (loader convenience for huge relations)."""
+    for start in range(0, len(rows), chunk):
+        yield list(rows[start : start + chunk])

@@ -1,0 +1,127 @@
+"""The paper's experimental setups, packaged (Section 5).
+
+Each ``make_*`` function returns a fully loaded :class:`Database` plus the
+query expression and its exact answer, configured exactly like the
+corresponding experiment:
+
+* relations of 10 000 tuples × 200 bytes in 1 KB blocks (5 tuples/block,
+  2 000 blocks), randomly distributed;
+* selection with a single integer comparison (5.A);
+* intersection of two identical-content relations — 10 000 output tuples
+  (5.B), initial selectivity ``1/max(|r1|,|r2|)``;
+* join with one join attribute and ≈70 000 output tuples (5.C), initial
+  selectivity 0.1 ("if the maximum selectivity of 1 were assumed, the sample
+  size was so small … that the system clock did not provide enough
+  accuracy").
+
+``scale`` shrinks everything proportionally (tuples and the implied quota
+should shrink together) for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.relational.expression import Expression, intersect, join, rel, select
+from repro.relational.predicate import cmp
+from repro.timekeeping.profile import MachineProfile
+from repro.workloads.generators import (
+    PAPER_RELATION_TUPLES,
+    intersection_relations,
+    join_relations,
+    paper_schema,
+    selection_relation,
+)
+
+SELECTION_QUOTA = 10.0
+INTERSECTION_QUOTA = 2.5
+JOIN_QUOTA = 10.0
+JOIN_INITIAL_SELECTIVITY = 0.1
+D_BETA_GRID = (0.0, 12.0, 24.0, 48.0, 72.0)
+"""The d_β sweep of every table in Section 5."""
+
+
+@dataclass
+class PaperSetup:
+    """One ready-to-run experimental configuration."""
+
+    database: Database
+    query: Expression
+    exact_count: int
+    quota: float
+    initial_selectivities: dict[str, float] | None = None
+
+    def describe(self) -> str:
+        return (
+            f"{self.query} (exact COUNT = {self.exact_count}, "
+            f"quota = {self.quota:g}s)"
+        )
+
+
+def _db(seed: int | None, profile: MachineProfile | None) -> Database:
+    return Database(
+        profile=profile if profile is not None else MachineProfile.sun3_60(),
+        seed=seed,
+    )
+
+
+def make_selection_setup(
+    output_tuples: int = 1_000,
+    tuples: int = PAPER_RELATION_TUPLES,
+    seed: int | None = 0,
+    profile: MachineProfile | None = None,
+    quota: float = SELECTION_QUOTA,
+) -> PaperSetup:
+    """Figure 5.1's selection experiment (one integer comparison)."""
+    db = _db(seed, profile)
+    rng = np.random.default_rng(seed)
+    rows = selection_relation(rng, tuples=tuples, output_tuples=output_tuples)
+    db.create_relation("r1", paper_schema(), rows)
+    query = select(rel("r1"), cmp("a", "<", output_tuples))
+    return PaperSetup(db, query, output_tuples, quota)
+
+
+def make_intersection_setup(
+    common_tuples: int = PAPER_RELATION_TUPLES,
+    tuples: int = PAPER_RELATION_TUPLES,
+    seed: int | None = 0,
+    profile: MachineProfile | None = None,
+    quota: float = INTERSECTION_QUOTA,
+) -> PaperSetup:
+    """Figure 5.2's intersection experiment (10 000 output tuples)."""
+    db = _db(seed, profile)
+    rng = np.random.default_rng(seed)
+    r1, r2 = intersection_relations(
+        rng, tuples=tuples, common_tuples=common_tuples
+    )
+    db.create_relation("r1", paper_schema(), r1)
+    db.create_relation("r2", paper_schema(), r2)
+    query = intersect(rel("r1"), rel("r2"))
+    return PaperSetup(db, query, common_tuples, quota)
+
+
+def make_join_setup(
+    fanout: int = 7,
+    tuples: int = PAPER_RELATION_TUPLES,
+    seed: int | None = 0,
+    profile: MachineProfile | None = None,
+    quota: float = JOIN_QUOTA,
+    initial_selectivity: float = JOIN_INITIAL_SELECTIVITY,
+) -> PaperSetup:
+    """Figure 5.3's join experiment (≈70 000 output tuples, one attribute)."""
+    db = _db(seed, profile)
+    rng = np.random.default_rng(seed)
+    r1, r2, exact = join_relations(rng, tuples=tuples, fanout=fanout)
+    db.create_relation("r1", paper_schema(), r1)
+    db.create_relation("r2", paper_schema(), r2)
+    query = join(rel("r1"), rel("r2"), on=["a"])
+    return PaperSetup(
+        db,
+        query,
+        exact,
+        quota,
+        initial_selectivities={"join": initial_selectivity},
+    )

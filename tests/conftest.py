@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.types import AttributeType
+from repro.storage.heapfile import HeapFile
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.profile import MachineProfile
+
+
+@pytest.fixture
+def int_schema() -> Schema:
+    """Two-int schema (id, a) with 8-byte tuples."""
+    return Schema.of(id=AttributeType.INT, a=AttributeType.INT)
+
+
+@pytest.fixture
+def wide_schema() -> Schema:
+    """A 200-byte paper-style schema."""
+    return Schema(
+        (
+            Attribute("id", AttributeType.INT, 4),
+            Attribute("a", AttributeType.INT, 4),
+            Attribute("b", AttributeType.INT, 4),
+            Attribute("pad", AttributeType.STR, 188),
+        )
+    )
+
+
+@pytest.fixture
+def free_charger() -> CostCharger:
+    """A charger that charges zero time (pure-logic tests)."""
+    return CostCharger(MachineProfile.uniform(0.0))
+
+
+@pytest.fixture
+def unit_charger() -> CostCharger:
+    """A deterministic charger: every unit costs exactly 1 second."""
+    return CostCharger(MachineProfile.uniform(1.0))
+
+
+def make_relation(
+    name: str,
+    schema: Schema,
+    rows: list[tuple],
+    block_size: int = 40,
+) -> HeapFile:
+    heap = HeapFile(name, schema, block_size)
+    heap.load(rows)
+    return heap
+
+
+@pytest.fixture
+def small_catalog(int_schema) -> Catalog:
+    """r1: 100 tuples a=i%10; r2: 100 tuples overlapping ids 50..149."""
+    catalog = Catalog()
+    catalog.register(
+        "r1",
+        make_relation("r1", int_schema, [(i, i % 10) for i in range(100)]),
+    )
+    catalog.register(
+        "r2",
+        make_relation("r2", int_schema, [(i, i % 10) for i in range(50, 150)]),
+    )
+    return catalog
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

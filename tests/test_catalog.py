@@ -1,0 +1,58 @@
+"""Unit tests for the relation catalog."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.errors import CatalogError
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def catalog(int_schema):
+    c = Catalog()
+    c.register("r1", make_relation("r1", int_schema, [(1, 1)]))
+    return c
+
+
+class TestRegister:
+    def test_register_and_get(self, catalog):
+        assert catalog.get("r1").name == "r1"
+
+    def test_duplicate_name_rejected(self, catalog, int_schema):
+        with pytest.raises(CatalogError):
+            catalog.register("r1", make_relation("r1", int_schema, []))
+
+    def test_empty_name_rejected(self, int_schema):
+        with pytest.raises(CatalogError):
+            Catalog().register("", make_relation("x", int_schema, []))
+
+
+class TestLookup:
+    def test_unknown_get_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get("ghost")
+
+    def test_contains(self, catalog):
+        assert "r1" in catalog
+        assert "ghost" not in catalog
+
+    def test_len_and_iter(self, catalog, int_schema):
+        catalog.register("r2", make_relation("r2", int_schema, []))
+        assert len(catalog) == 2
+        assert list(catalog) == ["r1", "r2"]
+        assert catalog.names() == ["r1", "r2"]
+
+
+class TestDrop:
+    def test_drop_removes(self, catalog):
+        catalog.drop("r1")
+        assert "r1" not in catalog
+
+    def test_drop_unknown_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop("ghost")
+
+    def test_name_reusable_after_drop(self, catalog, int_schema):
+        catalog.drop("r1")
+        catalog.register("r1", make_relation("r1", int_schema, [(2, 2)]))
+        assert catalog.get("r1").tuple_count == 1

@@ -1,0 +1,28 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_table(self, capsys):
+        assert main(["--only", "5.1", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5.1" in out
+        assert "d_beta" in out
+
+    def test_multiple_tables(self, capsys):
+        assert main(["--only", "5.2", "5.3", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5.2" in out and "Figure 5.3" in out
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "9.9"])
+
+    def test_default_runs_everything(self, capsys):
+        assert main(["--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Figure 5.1", "Figure 5.2", "Figure 5.3"):
+            assert marker in out

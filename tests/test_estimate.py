@@ -1,0 +1,82 @@
+"""Tests for Estimate and the normal quantile function."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.estimation.estimate import Estimate, normal_quantile
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [
+            (0.5, 0.0),
+            (0.975, 1.959964),
+            (0.95, 1.644854),
+            (0.995, 2.575829),
+            (0.025, -1.959964),
+            (0.0001, -3.719016),
+        ],
+    )
+    def test_known_values(self, p, expected):
+        assert normal_quantile(p) == pytest.approx(expected, abs=1e-4)
+
+    def test_bounds_rejected(self):
+        with pytest.raises(EstimationError):
+            normal_quantile(0.0)
+        with pytest.raises(EstimationError):
+            normal_quantile(1.0)
+
+    @given(st.floats(0.001, 0.999))
+    def test_property_antisymmetric(self, p):
+        assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p), abs=1e-7)
+
+    @given(st.floats(0.01, 0.99), st.floats(0.01, 0.99))
+    def test_property_monotone(self, p, q):
+        if p < q:
+            assert normal_quantile(p) <= normal_quantile(q)
+
+
+class TestEstimate:
+    def test_std_error(self):
+        est = Estimate(value=10.0, variance=4.0)
+        assert est.std_error == 2.0
+
+    def test_confidence_interval_symmetric(self):
+        est = Estimate(value=10.0, variance=4.0)
+        lo, hi = est.confidence_interval(0.95)
+        assert lo == pytest.approx(10 - 1.96 * 2, abs=0.01)
+        assert hi == pytest.approx(10 + 1.96 * 2, abs=0.01)
+
+    def test_wider_at_higher_confidence(self):
+        est = Estimate(value=10.0, variance=4.0)
+        lo95, hi95 = est.confidence_interval(0.95)
+        lo99, hi99 = est.confidence_interval(0.99)
+        assert lo99 < lo95 and hi99 > hi95
+
+    def test_zero_variance_degenerate_interval(self):
+        est = Estimate(value=5.0, variance=0.0)
+        assert est.confidence_interval(0.9) == (5.0, 5.0)
+
+    def test_invalid_level_rejected(self):
+        est = Estimate(value=5.0, variance=1.0)
+        with pytest.raises(EstimationError):
+            est.confidence_interval(1.0)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(EstimationError):
+            Estimate(value=1.0, variance=-0.1)
+
+    def test_relative_error_bound(self):
+        est = Estimate(value=100.0, variance=25.0)
+        assert est.relative_error_bound(0.95) == pytest.approx(
+            1.96 * 5 / 100, abs=0.001
+        )
+
+    def test_relative_error_bound_at_zero_value(self):
+        est = Estimate(value=0.0, variance=1.0)
+        assert math.isinf(est.relative_error_bound())

@@ -1,0 +1,132 @@
+"""Tests for Goodman's estimator and the distinct-count baselines."""
+
+import itertools
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation.goodman import (
+    chao1,
+    good_turing_coverage,
+    goodman_estimate,
+    goodman_raw,
+    jackknife1,
+)
+
+
+def enumerate_expectation(population: list[int], m: int) -> float:
+    """E[goodman_raw] over all without-replacement samples of size m."""
+    n = len(population)
+    values = []
+    for sample in itertools.combinations(range(n), m):
+        occupancy = list(Counter(population[i] for i in sample).values())
+        values.append(goodman_raw(n, m, occupancy))
+    return sum(values) / len(values)
+
+
+class TestGoodmanRaw:
+    def test_exact_at_full_sample(self):
+        # Sampling everything: estimate must equal observed distinct count.
+        assert goodman_raw(5, 5, [2, 2, 1]) == pytest.approx(3.0)
+
+    def test_unbiased_small_case(self):
+        """Classic check: population {a,a,b}, samples of 2 → E[D̂] = 2."""
+        assert enumerate_expectation([0, 0, 1], 2) == pytest.approx(2.0)
+
+    def test_unbiased_larger_case(self):
+        # Population of 6 with classes sized ≤ 3; m=3 satisfies Goodman's
+        # unbiasedness condition (max class size ≤ m).
+        population = [0, 0, 1, 1, 2, 2]
+        assert enumerate_expectation(population, 3) == pytest.approx(3.0)
+
+    def test_unbiased_uneven_classes(self):
+        population = [0, 0, 0, 1, 2]
+        assert enumerate_expectation(population, 3) == pytest.approx(3.0)
+
+    def test_overflow_returns_inf(self):
+        # A deep occupancy term (j=8) from a huge population: the series
+        # coefficient Π (N−n+t)/(n−t) explodes past any float bound.
+        result = goodman_raw(10**6, 10, [8, 1, 1])
+        assert math.isinf(result)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(EstimationError):
+            goodman_raw(3, 5, [1])
+        with pytest.raises(EstimationError):
+            goodman_raw(5, 0, [])
+
+    def test_occupancy_exceeding_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            goodman_raw(10, 2, [2, 2])
+
+    def test_nonpositive_occupancy_rejected(self):
+        with pytest.raises(EstimationError):
+            goodman_raw(10, 2, [0])
+
+
+class TestBaselines:
+    def test_chao1_with_doubletons(self):
+        # d=3, f1=2, f2=1 → 3 + 4/2 = 5
+        assert chao1([1, 1, 2]) == pytest.approx(5.0)
+
+    def test_chao1_without_doubletons(self):
+        # d=2, f1=2, f2=0 → 2 + 2·1/2 = 3
+        assert chao1([1, 1]) == pytest.approx(3.0)
+
+    def test_jackknife1(self):
+        # d=2, f1=1, n=4 → 2 + 1·3/4
+        assert jackknife1(4, [1, 3]) == pytest.approx(2.75)
+
+    def test_jackknife_requires_positive_sample(self):
+        with pytest.raises(EstimationError):
+            jackknife1(0, [1])
+
+    def test_coverage(self):
+        assert good_turing_coverage([1, 2, 3]) == pytest.approx(1 - 1 / 6)
+
+    def test_coverage_floor_positive(self):
+        assert good_turing_coverage([1]) > 0.0
+
+
+class TestGoodmanEstimate:
+    def test_empty_occupancy_gives_zero(self):
+        est = goodman_estimate(100, 10, [])
+        assert est.value == 0.0
+
+    def test_full_census_exact(self):
+        est = goodman_estimate(4, 4, [2, 2])
+        assert est.exact and est.value == 2.0 and est.variance == 0.0
+
+    def test_value_in_feasible_range(self):
+        rng = np.random.default_rng(0)
+        est = goodman_estimate(1000, 50, [1] * 40 + [2] * 5, rng=rng)
+        assert 45 <= est.value <= 1000
+
+    def test_falls_back_when_goodman_explodes(self):
+        rng = np.random.default_rng(0)
+        est = goodman_estimate(10**6, 10, [8, 1, 1], rng=rng)
+        assert math.isfinite(est.value)
+        assert 3 <= est.value <= 10**6
+
+    def test_bootstrap_variance_nonnegative_and_reproducible(self):
+        occupancy = [1] * 10 + [3] * 3
+        a = goodman_estimate(500, 19, occupancy, rng=np.random.default_rng(5))
+        b = goodman_estimate(500, 19, occupancy, rng=np.random.default_rng(5))
+        assert a.variance == b.variance >= 0.0
+
+    def test_consistency_toward_truth(self):
+        """With growing samples from a fixed population, the estimate
+        approaches the true distinct count."""
+        rng = np.random.default_rng(3)
+        population = [i % 50 for i in range(1000)]  # 50 classes
+        errors = []
+        for m in (100, 400, 900):
+            draws = rng.choice(population, size=m, replace=False)
+            occupancy = list(Counter(draws).values())
+            est = goodman_estimate(1000, m, occupancy, rng=rng)
+            errors.append(abs(est.value - 50) / 50)
+        assert errors[-1] < 0.1
+        assert errors[-1] <= errors[0] + 0.05

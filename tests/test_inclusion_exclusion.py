@@ -1,0 +1,185 @@
+"""Tests for the inclusion–exclusion COUNT expansion.
+
+The central invariant: for any expression ``E``,
+``COUNT(E) == Σ coef·COUNT(term)`` with every term SJIP-only. Verified both
+on hand-picked cases and on randomly generated expression trees (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.catalog.types import AttributeType
+from repro.errors import ExpressionError
+from repro.relational.evaluator import count_exact
+from repro.relational.expression import (
+    Intersect,
+    difference,
+    intersect,
+    project,
+    rel,
+    select,
+    union,
+)
+from repro.relational.inclusion_exclusion import expand_count
+from repro.relational.predicate import cmp
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def catalog(int_schema):
+    catalog = Catalog()
+    catalog.register(
+        "r1", make_relation("r1", int_schema, [(i, i % 7) for i in range(60)])
+    )
+    catalog.register(
+        "r2", make_relation("r2", int_schema, [(i, i % 7) for i in range(30, 90)])
+    )
+    catalog.register(
+        "r3", make_relation("r3", int_schema, [(i, i % 7) for i in range(45, 105)])
+    )
+    return catalog
+
+
+def check_identity(expr, catalog):
+    terms = expand_count(expr)
+    for term in terms:
+        assert term.expression.is_sjip(), f"non-SJIP term {term.expression}"
+        assert term.coefficient != 0
+    total = sum(t.coefficient * count_exact(t.expression, catalog) for t in terms)
+    assert total == count_exact(expr, catalog)
+    return terms
+
+
+class TestBasicExpansions:
+    def test_sjip_passthrough(self, catalog):
+        e = select(rel("r1"), cmp("a", "<", 3))
+        terms = expand_count(e)
+        assert len(terms) == 1
+        assert terms[0].coefficient == 1
+        assert terms[0].expression == e
+
+    def test_union_three_terms(self, catalog):
+        terms = check_identity(union(rel("r1"), rel("r2")), catalog)
+        assert sorted(t.coefficient for t in terms) == [-1, 1, 1]
+
+    def test_difference_two_terms(self, catalog):
+        terms = check_identity(difference(rel("r1"), rel("r2")), catalog)
+        assert sorted(t.coefficient for t in terms) == [-1, 1]
+
+    def test_intersect_stays_single_term(self, catalog):
+        terms = check_identity(intersect(rel("r1"), rel("r2")), catalog)
+        assert len(terms) == 1
+
+    def test_self_union_collapses(self, catalog):
+        terms = check_identity(union(rel("r1"), rel("r1")), catalog)
+        assert len(terms) == 1
+        assert terms[0].coefficient == 1
+        assert terms[0].expression == rel("r1")
+
+    def test_self_difference_cancels(self, catalog):
+        terms = expand_count(difference(rel("r1"), rel("r1")))
+        assert terms == []  # COUNT(A − A) = 0: all terms cancel
+
+    def test_intersect_idempotence_shortcut(self, catalog):
+        terms = expand_count(union(rel("r1"), rel("r1")))
+        for term in terms:
+            assert not isinstance(term.expression, Intersect)
+
+
+class TestNestedExpansions:
+    def test_union_of_three(self, catalog):
+        e = union(union(rel("r1"), rel("r2")), rel("r3"))
+        terms = check_identity(e, catalog)
+        # Classic inclusion–exclusion over 3 sets: 7 terms.
+        assert len(terms) == 7
+
+    def test_difference_of_union(self, catalog):
+        check_identity(
+            difference(union(rel("r1"), rel("r2")), rel("r3")), catalog
+        )
+
+    def test_union_of_differences(self, catalog):
+        check_identity(
+            union(difference(rel("r1"), rel("r2")), difference(rel("r2"), rel("r3"))),
+            catalog,
+        )
+
+    def test_select_over_union(self, catalog):
+        check_identity(
+            select(union(rel("r1"), rel("r2")), cmp("a", "<", 4)), catalog
+        )
+
+    def test_select_over_difference(self, catalog):
+        check_identity(
+            select(difference(rel("r1"), rel("r2")), cmp("a", ">", 2)), catalog
+        )
+
+    def test_intersect_of_unions(self, catalog):
+        check_identity(
+            intersect(union(rel("r1"), rel("r2")), union(rel("r2"), rel("r3"))),
+            catalog,
+        )
+
+    def test_symmetric_difference(self, catalog):
+        e = difference(
+            union(rel("r1"), rel("r2")), intersect(rel("r1"), rel("r2"))
+        )
+        check_identity(e, catalog)
+
+
+class TestProjection:
+    def test_project_over_union_distributes(self, catalog):
+        e = project(union(rel("r1"), rel("r2")), ["a"])
+        terms = check_identity(e, catalog)
+        assert all(t.expression.contains_projection() for t in terms)
+
+    def test_project_over_difference_rejected(self, catalog):
+        e = project(difference(rel("r1"), rel("r2")), ["a"])
+        with pytest.raises(ExpressionError, match="[Pp]rojection"):
+            expand_count(e)
+
+    def test_plain_project_single_term(self, catalog):
+        terms = expand_count(project(rel("r1"), ["a"]))
+        assert len(terms) == 1
+
+
+# ----------------------------------------------------------------------
+# Property-based: random union/difference/intersect trees over 3 relations
+# ----------------------------------------------------------------------
+def _expr_strategy():
+    leaves = st.sampled_from(["r1", "r2", "r3"]).map(rel)
+
+    def extend(children):
+        binary = st.tuples(children, children)
+        return st.one_of(
+            binary.map(lambda p: union(*p)),
+            binary.map(lambda p: difference(*p)),
+            binary.map(lambda p: intersect(*p)),
+            children.map(lambda c: select(c, cmp("a", "<", 4))),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_expr_strategy())
+def test_property_expansion_matches_exact_count(expr):
+    catalog = Catalog()
+    schema = Schema.of(id=AttributeType.INT, a=AttributeType.INT)
+    catalog.register(
+        "r1", make_relation("r1", schema, [(i, i % 7) for i in range(40)])
+    )
+    catalog.register(
+        "r2", make_relation("r2", schema, [(i, i % 7) for i in range(20, 60)])
+    )
+    catalog.register(
+        "r3", make_relation("r3", schema, [(i, i % 7) for i in range(30, 70)])
+    )
+    terms = expand_count(expr)
+    total = sum(t.coefficient * count_exact(t.expression, catalog) for t in terms)
+    assert total == count_exact(expr, catalog)
+    for term in terms:
+        assert term.expression.is_sjip()

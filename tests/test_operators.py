@@ -1,0 +1,172 @@
+"""Tests for the charged operator primitives (sort, merges, unary ops)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.operators import (
+    apply_select,
+    dedupe_sorted,
+    external_sort,
+    key_for_positions,
+    merge_difference,
+    merge_intersect,
+    merge_join,
+    merge_union,
+    project_rows,
+    whole_row_key,
+)
+from repro.timekeeping.profile import CostKind
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 3)), max_size=30
+)
+
+
+class TestExternalSort:
+    def test_sorts_by_whole_row(self, free_charger):
+        rows = [(3, 1), (1, 2), (2, 0)]
+        assert external_sort(rows, whole_row_key, free_charger) == [
+            (1, 2),
+            (2, 0),
+            (3, 1),
+        ]
+
+    def test_sorts_by_key_positions(self, free_charger):
+        rows = [(3, 1), (1, 2), (2, 0)]
+        out = external_sort(rows, key_for_positions([1]), free_charger)
+        assert [r[1] for r in out] == [0, 1, 2]
+
+    def test_charges_nlogn_and_linear(self, unit_charger):
+        rows = [(i,) for i in range(8)]
+        external_sort(rows, whole_row_key, unit_charger)
+        assert unit_charger.counts[CostKind.SORT_UNIT] == pytest.approx(
+            8 * math.log2(8)
+        )
+        assert unit_charger.counts[CostKind.SORT_TUPLE] == 8
+
+    def test_empty_and_singleton_free_of_nlogn(self, unit_charger):
+        external_sort([], whole_row_key, unit_charger)
+        external_sort([(1,)], whole_row_key, unit_charger)
+        assert unit_charger.counts[CostKind.SORT_UNIT] == 0
+
+    def test_does_not_mutate_input(self, free_charger):
+        rows = [(2,), (1,)]
+        external_sort(rows, whole_row_key, free_charger)
+        assert rows == [(2,), (1,)]
+
+
+class TestMergeSetOps:
+    def test_intersect_basic(self, free_charger):
+        left = [(1,), (2,), (3,)]
+        right = [(2,), (3,), (4,)]
+        assert merge_intersect(left, right, free_charger, 5) == [(2,), (3,)]
+
+    def test_intersect_collapses_duplicates(self, free_charger):
+        left = [(1,), (1,), (2,)]
+        right = [(1,), (2,), (2,)]
+        assert merge_intersect(left, right, free_charger, 5) == [(1,), (2,)]
+
+    def test_union_basic(self, free_charger):
+        left = [(1,), (3,)]
+        right = [(2,), (3,)]
+        assert merge_union(left, right, free_charger, 5) == [(1,), (2,), (3,)]
+
+    def test_difference_basic(self, free_charger):
+        left = [(1,), (2,), (3,)]
+        right = [(2,)]
+        assert merge_difference(left, right, free_charger, 5) == [(1,), (3,)]
+
+    def test_empty_sides(self, free_charger):
+        assert merge_intersect([], [(1,)], free_charger, 5) == []
+        assert merge_union([], [(1,)], free_charger, 5) == [(1,)]
+        assert merge_difference([], [(1,)], free_charger, 5) == []
+        assert merge_difference([(1,)], [], free_charger, 5) == [(1,)]
+
+    def test_merge_charges(self, unit_charger):
+        merge_intersect([(1,), (2,)], [(2,)], unit_charger, 5)
+        assert unit_charger.counts[CostKind.MERGE_INIT] == 1
+        assert unit_charger.counts[CostKind.MERGE_TUPLE] == 3
+        assert unit_charger.counts[CostKind.OUTPUT_TUPLE] == 1
+        assert unit_charger.counts[CostKind.PAGE_WRITE] == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(left=rows_strategy, right=rows_strategy)
+    def test_property_setops_match_python_sets(self, left, right):
+        from repro.timekeeping.charger import CostCharger
+        from repro.timekeeping.profile import MachineProfile
+
+        charger = CostCharger(MachineProfile.uniform(0.0))
+        ls = sorted(set(left))
+        rs = sorted(set(right))
+        assert merge_intersect(ls, rs, charger, 5) == sorted(set(ls) & set(rs))
+        assert merge_union(ls, rs, charger, 5) == sorted(set(ls) | set(rs))
+        assert merge_difference(ls, rs, charger, 5) == sorted(set(ls) - set(rs))
+
+
+class TestMergeJoin:
+    def test_basic_equi_join(self, free_charger):
+        left = sorted([(1, "x"), (2, "y")], key=lambda r: r[0])
+        right = sorted([(1, "a"), (1, "b"), (3, "c")], key=lambda r: r[0])
+        out = merge_join(left, right, [0], [0], free_charger, 5)
+        assert out == [(1, "x", 1, "a"), (1, "x", 1, "b")]
+
+    def test_cross_product_within_key_group(self, free_charger):
+        left = [(1, "p"), (1, "q")]
+        right = [(1, "a"), (1, "b")]
+        out = merge_join(left, right, [0], [0], free_charger, 5)
+        assert len(out) == 4
+
+    def test_multi_attribute_key(self, free_charger):
+        left = sorted([(1, 1, "l1"), (1, 2, "l2")])
+        right = sorted([(1, 1, "r1"), (1, 3, "r2")])
+        out = merge_join(left, right, [0, 1], [0, 1], free_charger, 5)
+        assert out == [(1, 1, "l1", 1, 1, "r1")]
+
+    def test_disjoint_keys_empty(self, free_charger):
+        out = merge_join([(1,)], [(2,)], [0], [0], free_charger, 5)
+        assert out == []
+
+    @settings(max_examples=80, deadline=None)
+    @given(left=rows_strategy, right=rows_strategy)
+    def test_property_join_matches_nested_loop(self, left, right):
+        from repro.timekeeping.charger import CostCharger
+        from repro.timekeeping.profile import MachineProfile
+
+        charger = CostCharger(MachineProfile.uniform(0.0))
+        left = sorted(set(left), key=lambda r: r[0])
+        right = sorted(set(right), key=lambda r: r[0])
+        out = merge_join(left, right, [0], [0], charger, 5)
+        expected = sorted(
+            l + r for l in left for r in right if l[0] == r[0]
+        )
+        assert sorted(out) == expected
+
+
+class TestUnaryOps:
+    def test_apply_select_filters_and_charges(self, unit_charger):
+        rows = [(i,) for i in range(10)]
+        out = apply_select(rows, lambda r: r[0] % 2 == 0, unit_charger, 2)
+        assert out == [(0,), (2,), (4,), (6,), (8,)]
+        assert unit_charger.counts[CostKind.SELECT_CHECK] == 10
+        assert unit_charger.counts[CostKind.PAGE_WRITE] == 3  # ceil(5/2)
+        assert unit_charger.counts[CostKind.OP_INIT] == 1
+
+    def test_apply_select_empty_output_writes_nothing(self, unit_charger):
+        out = apply_select([(1,)], lambda r: False, unit_charger, 2)
+        assert out == []
+        assert unit_charger.counts[CostKind.PAGE_WRITE] == 0
+
+    def test_dedupe_sorted_counts_occupancy(self, free_charger):
+        rows = [(1,), (1,), (2,), (3,), (3,), (3,)]
+        distinct, occupancy = dedupe_sorted(rows, free_charger, 5)
+        assert distinct == [(1,), (2,), (3,)]
+        assert occupancy == [2, 1, 3]
+
+    def test_dedupe_empty(self, free_charger):
+        assert dedupe_sorted([], free_charger, 5) == ([], [])
+
+    def test_project_rows_reorders(self):
+        assert project_rows([(1, 2, 3)], [2, 0]) == [(3, 1)]

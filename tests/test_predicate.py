@@ -1,0 +1,116 @@
+"""Unit tests for selection formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.schema import Schema
+from repro.catalog.types import AttributeType
+from repro.errors import ExpressionError, SchemaError
+from repro.relational.predicate import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    cmp,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(a=AttributeType.INT, b=AttributeType.INT)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,row,expected",
+        [
+            ("<", 5, (3, 0), True),
+            ("<", 5, (5, 0), False),
+            ("<=", 5, (5, 0), True),
+            (">", 5, (6, 0), True),
+            (">=", 5, (5, 0), True),
+            ("==", 5, (5, 0), True),
+            ("!=", 5, (5, 0), False),
+        ],
+    )
+    def test_operators(self, schema, op, value, row, expected):
+        fn = Comparison("a", op, value).compile(schema)
+        assert fn(row) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("a", "~", 5)
+
+    def test_attr_to_attr_comparison(self, schema):
+        fn = cmp("a", "<", attr("b")).compile(schema)
+        assert fn((1, 2)) is True
+        assert fn((2, 1)) is False
+
+    def test_unknown_attribute_fails_at_compile(self, schema):
+        with pytest.raises(SchemaError):
+            cmp("ghost", "<", 5).compile(schema)
+
+    def test_comparison_count(self):
+        assert cmp("a", "<", 5).comparison_count() == 1
+
+    def test_attributes(self, schema):
+        assert cmp("a", "<", attr("b")).attributes() == {"a", "b"}
+
+
+class TestCombinators:
+    def test_and(self, schema):
+        fn = (cmp("a", ">", 1) & cmp("b", "<", 5)).compile(schema)
+        assert fn((2, 4)) is True
+        assert fn((2, 6)) is False
+        assert fn((0, 4)) is False
+
+    def test_or(self, schema):
+        fn = (cmp("a", ">", 1) | cmp("b", "<", 5)).compile(schema)
+        assert fn((0, 4)) is True
+        assert fn((2, 9)) is True
+        assert fn((0, 9)) is False
+
+    def test_not(self, schema):
+        fn = (~cmp("a", ">", 1)).compile(schema)
+        assert fn((0, 0)) is True
+        assert fn((2, 0)) is False
+
+    def test_nested_counts(self):
+        pred = (cmp("a", ">", 1) & cmp("b", "<", 5)) | ~cmp("a", "==", 0)
+        assert pred.comparison_count() == 3
+
+    def test_and_requires_two_parts(self):
+        with pytest.raises(ExpressionError):
+            And((cmp("a", "<", 1),))
+
+    def test_or_requires_two_parts(self):
+        with pytest.raises(ExpressionError):
+            Or((cmp("a", "<", 1),))
+
+    def test_nested_attributes(self):
+        pred = (cmp("a", ">", 1) & cmp("b", "<", 5)) | ~cmp("a", "==", 0)
+        assert pred.attributes() == {"a", "b"}
+
+
+class TestTruePredicate:
+    def test_always_true(self, schema):
+        fn = TruePredicate().compile(schema)
+        assert fn((0, 0)) is True
+
+    def test_zero_comparisons(self):
+        assert TruePredicate().comparison_count() == 0
+        assert TruePredicate().attributes() == set()
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100), st.integers(-100, 100))
+def test_property_demorgan(a, b, threshold):
+    """¬(p ∧ q) ≡ ¬p ∨ ¬q over arbitrary rows and thresholds."""
+    schema = Schema.of(a=AttributeType.INT, b=AttributeType.INT)
+    p = cmp("a", "<", threshold)
+    q = cmp("b", ">", threshold)
+    lhs = (~(p & q)).compile(schema)
+    rhs = ((~p) | (~q)).compile(schema)
+    assert lhs((a, b)) == rhs((a, b))

@@ -1,0 +1,72 @@
+"""Tests for the Sample-Size-Determine bisection (Figure 3.4)."""
+
+import pytest
+
+from repro.errors import TimeControlError
+from repro.timecontrol.sample_size import determine_fraction
+
+
+def linear_cost(rate: float):
+    return lambda f: rate * f
+
+
+class TestBoundaries:
+    def test_nonpositive_budget_infeasible(self):
+        assert determine_fraction(linear_cost(1.0), 0.0, 0.01, 1.0) is None
+        assert determine_fraction(linear_cost(1.0), -1.0, 0.01, 1.0) is None
+
+    def test_empty_bounds_infeasible(self):
+        assert determine_fraction(linear_cost(1.0), 1.0, 0.0, 1.0) is None
+        assert determine_fraction(linear_cost(1.0), 1.0, 0.5, 0.2) is None
+
+    def test_min_fraction_too_expensive(self):
+        # Even one block costs 10s against a 1s budget.
+        assert determine_fraction(linear_cost(1000.0), 1.0, 0.01, 1.0) is None
+
+    def test_everything_affordable_takes_max(self):
+        assert determine_fraction(linear_cost(0.1), 10.0, 0.01, 0.8) == 0.8
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(TimeControlError):
+            determine_fraction(linear_cost(1.0), 1.0, 0.01, 1.0, epsilon_ratio=0)
+
+
+class TestBisection:
+    def test_converges_to_budget(self):
+        cost = linear_cost(10.0)  # budget 5 → f = 0.5
+        f = determine_fraction(cost, 5.0, 0.001, 1.0)
+        assert f is not None
+        assert cost(f) == pytest.approx(5.0, rel=0.05)
+
+    def test_predicted_cost_within_epsilon_band(self):
+        cost = lambda f: 20.0 * f + 1.0
+        budget = 8.0
+        f = determine_fraction(cost, budget, 0.001, 1.0, epsilon_ratio=0.02)
+        assert f is not None
+        assert abs(cost(f) - budget) <= 0.02 * budget + 1e-9
+
+    def test_step_function_cost(self):
+        """Block granularity makes cost a step function; the bisection must
+        still return a feasible fraction."""
+
+        def cost(f):
+            blocks = max(1, round(f * 20))
+            return blocks * 1.0
+
+        f = determine_fraction(cost, 7.5, 0.05, 1.0)
+        assert f is not None
+        assert cost(f) <= 8.0  # at most one step above the budget band
+
+    def test_nonmonotone_tolerated(self):
+        """Even a (mildly) non-monotone cost function yields some fraction."""
+
+        def cost(f):
+            return 10 * f + (0.5 if 0.4 < f < 0.5 else 0.0)
+
+        f = determine_fraction(cost, 5.0, 0.001, 1.0)
+        assert f is not None
+
+    def test_respects_min_fraction(self):
+        cost = linear_cost(1.0)
+        f = determine_fraction(cost, 0.9, 0.5, 1.0)
+        assert f is not None and f >= 0.5

@@ -1,0 +1,171 @@
+"""Unit tests for Schema (repro.catalog.schema)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.types import AttributeType
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_of_builds_ordered_schema(self):
+        s = Schema.of(a=AttributeType.INT, b=AttributeType.STR)
+        assert s.names == ("a", "b")
+        assert s.arity == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Attribute("a", AttributeType.INT), Attribute("a", AttributeType.INT)))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_attribute_default_width_applied(self):
+        a = Attribute("x", AttributeType.STR)
+        assert a.width == 16
+
+    def test_attribute_explicit_width(self):
+        a = Attribute("x", AttributeType.STR, 188)
+        assert a.width == 188
+
+    def test_attribute_negative_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", AttributeType.INT, -1)
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeType.INT)
+
+    def test_from_pairs_with_widths(self):
+        s = Schema.from_pairs(
+            [("a", AttributeType.INT), ("p", AttributeType.STR)],
+            widths={"p": 100},
+        )
+        assert s.attribute("p").width == 100
+
+
+class TestSizes:
+    def test_tuple_size_sums_widths(self):
+        s = Schema.of(a=AttributeType.INT, b=AttributeType.FLOAT)
+        assert s.tuple_size == 12
+
+    def test_paper_tuple_is_200_bytes(self, wide_schema):
+        assert wide_schema.tuple_size == 200
+
+    def test_paper_blocking_factor_is_5(self, wide_schema):
+        assert wide_schema.blocking_factor(1024) == 5
+
+    def test_blocking_factor_at_least_one(self):
+        s = Schema.of(p=AttributeType.STR)
+        assert s.blocking_factor(8) == 1
+
+    def test_blocking_factor_rejects_nonpositive(self, wide_schema):
+        with pytest.raises(SchemaError):
+            wide_schema.blocking_factor(0)
+
+
+class TestLookup:
+    def test_index_of(self, wide_schema):
+        assert wide_schema.index_of("a") == 1
+
+    def test_index_of_unknown_raises(self, wide_schema):
+        with pytest.raises(SchemaError):
+            wide_schema.index_of("nope")
+
+    def test_contains(self, wide_schema):
+        assert "a" in wide_schema
+        assert "zz" not in wide_schema
+
+    def test_iter_yields_attributes(self, wide_schema):
+        assert [a.name for a in wide_schema] == ["id", "a", "b", "pad"]
+
+
+class TestProject:
+    def test_project_keeps_given_order(self, wide_schema):
+        assert wide_schema.project(["b", "id"]).names == ("b", "id")
+
+    def test_project_unknown_attr_raises(self, wide_schema):
+        with pytest.raises(SchemaError):
+            wide_schema.project(["ghost"])
+
+    def test_project_empty_raises(self, wide_schema):
+        with pytest.raises(SchemaError):
+            wide_schema.project([])
+
+    def test_project_duplicates_raise(self, wide_schema):
+        with pytest.raises(SchemaError):
+            wide_schema.project(["a", "a"])
+
+
+class TestJoin:
+    def test_join_concatenates(self):
+        left = Schema.of(a=AttributeType.INT)
+        right = Schema.of(b=AttributeType.INT)
+        assert left.join(right).names == ("a", "b")
+
+    def test_join_renames_clashes(self):
+        left = Schema.of(a=AttributeType.INT, b=AttributeType.INT)
+        right = Schema.of(a=AttributeType.INT)
+        assert left.join(right).names == ("a", "b", "a_r")
+
+    def test_join_renames_double_clash(self):
+        left = Schema.of(a=AttributeType.INT, a_r=AttributeType.INT)
+        right = Schema.of(a=AttributeType.INT)
+        assert left.join(right).names == ("a", "a_r", "a_r_r")
+
+
+class TestCompatibility:
+    def test_same_schemas_compatible(self, int_schema):
+        other = Schema.of(id=AttributeType.INT, a=AttributeType.INT)
+        assert int_schema.is_compatible(other)
+
+    def test_different_names_incompatible(self, int_schema):
+        other = Schema.of(id=AttributeType.INT, z=AttributeType.INT)
+        assert not int_schema.is_compatible(other)
+
+    def test_different_types_incompatible(self, int_schema):
+        other = Schema.of(id=AttributeType.INT, a=AttributeType.FLOAT)
+        assert not int_schema.is_compatible(other)
+
+    def test_require_compatible_raises(self, int_schema):
+        other = Schema.of(x=AttributeType.INT)
+        with pytest.raises(SchemaError, match="union"):
+            int_schema.require_compatible(other, "union")
+
+
+class TestValidateRow:
+    def test_valid_row_passes(self, int_schema):
+        assert int_schema.validate_row((1, 2)) == (1, 2)
+
+    def test_wrong_arity_raises(self, int_schema):
+        with pytest.raises(SchemaError):
+            int_schema.validate_row((1, 2, 3))
+
+    def test_wrong_type_raises(self, int_schema):
+        with pytest.raises(SchemaError):
+            int_schema.validate_row((1, "two"))
+
+    def test_coercion_applied(self):
+        s = Schema.of(x=AttributeType.FLOAT)
+        assert s.validate_row((3,)) == (3.0,)
+
+
+@given(
+    names=st.lists(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    )
+)
+def test_property_tuple_size_positive_and_projectable(names):
+    """Any well-formed schema has a positive tuple size and projects onto
+    each single attribute."""
+    schema = Schema(tuple(Attribute(n, AttributeType.INT) for n in names))
+    assert schema.tuple_size == 4 * len(names)
+    for name in names:
+        sub = schema.project([name])
+        assert sub.names == (name,)

@@ -1,0 +1,106 @@
+"""Tests for stopping criteria (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import TimeControlError
+from repro.estimation.estimate import Estimate
+from repro.timecontrol.stopping import (
+    AnyOf,
+    ErrorConstrained,
+    HardDeadline,
+    SoftDeadline,
+    StopState,
+    unlimited_quota,
+)
+
+
+def state(remaining=1.0, estimate=None, history=None, stage=1):
+    return StopState(
+        stage=stage,
+        remaining_seconds=remaining,
+        estimate=estimate,
+        estimate_history=history or ([] if estimate is None else [estimate]),
+    )
+
+
+class TestDeadlines:
+    def test_hard_is_hard(self):
+        assert HardDeadline().hard is True
+
+    def test_soft_is_soft(self):
+        assert SoftDeadline().hard is False
+
+    def test_stop_when_time_exhausted(self):
+        for criterion in (HardDeadline(), SoftDeadline()):
+            assert criterion.should_stop(state(remaining=0.0))
+            assert criterion.should_stop(state(remaining=-1.0))
+            assert not criterion.should_stop(state(remaining=0.5))
+
+
+class TestErrorConstrained:
+    def test_stops_at_target_precision(self):
+        # value 100, std 2 → 95% half-width ≈ 3.92 → 3.9% relative.
+        tight = Estimate(value=100.0, variance=4.0)
+        criterion = ErrorConstrained(target_relative_halfwidth=0.05)
+        assert criterion.should_stop(state(estimate=tight))
+
+    def test_keeps_going_when_imprecise(self):
+        loose = Estimate(value=100.0, variance=400.0)
+        criterion = ErrorConstrained(target_relative_halfwidth=0.05)
+        assert not criterion.should_stop(state(estimate=loose))
+
+    def test_exact_estimate_always_stops(self):
+        exact = Estimate(value=0.0, variance=0.0, exact=True)
+        criterion = ErrorConstrained(target_relative_halfwidth=0.01)
+        assert criterion.should_stop(state(estimate=exact))
+
+    def test_no_estimate_keeps_going(self):
+        criterion = ErrorConstrained()
+        assert not criterion.should_stop(state(estimate=None))
+
+    def test_stall_detection(self):
+        criterion = ErrorConstrained(
+            target_relative_halfwidth=1e-9, stall_stages=3, stall_tolerance=0.02
+        )
+        flat = [Estimate(value=v, variance=100.0) for v in (100.0, 100.5, 100.2)]
+        assert criterion.should_stop(
+            state(estimate=flat[-1], history=flat, stage=3)
+        )
+        moving = [Estimate(value=v, variance=100.0) for v in (80.0, 100.0, 120.0)]
+        assert not criterion.should_stop(
+            state(estimate=moving[-1], history=moving, stage=3)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TimeControlError):
+            ErrorConstrained(target_relative_halfwidth=0.0)
+        with pytest.raises(TimeControlError):
+            ErrorConstrained(confidence=1.0)
+
+
+class TestAnyOf:
+    def test_fires_when_any_fires(self):
+        combined = AnyOf([SoftDeadline(), ErrorConstrained(0.05)])
+        precise = Estimate(value=100.0, variance=1.0)
+        assert combined.should_stop(state(remaining=5.0, estimate=precise))
+        assert combined.should_stop(state(remaining=0.0, estimate=None))
+        loose = Estimate(value=100.0, variance=10_000.0)
+        assert not combined.should_stop(state(remaining=5.0, estimate=loose))
+
+    def test_hardness_inherited(self):
+        assert AnyOf([SoftDeadline(), HardDeadline()]).hard
+        assert not AnyOf([SoftDeadline(), ErrorConstrained()]).hard
+
+    def test_empty_rejected(self):
+        with pytest.raises(TimeControlError):
+            AnyOf([])
+
+    def test_describe(self):
+        combined = AnyOf([SoftDeadline(), ErrorConstrained()])
+        assert "SoftDeadline" in combined.describe()
+
+
+def test_unlimited_quota_is_inf():
+    assert math.isinf(unlimited_quota())

@@ -1,0 +1,140 @@
+"""Unit tests for blocks, heap files, and the spool."""
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.catalog.types import AttributeType
+from repro.errors import StorageError
+from repro.storage.block import DiskBlock
+from repro.storage.heapfile import HeapFile
+from repro.storage.spool import Spool
+from repro.timekeeping.profile import CostKind
+
+
+class TestDiskBlock:
+    def test_append_until_full(self):
+        block = DiskBlock(block_id=0, capacity=2)
+        block.append((1,))
+        block.append((2,))
+        assert block.is_full
+        with pytest.raises(StorageError):
+            block.append((3,))
+
+    def test_len_and_iter(self):
+        block = DiskBlock(block_id=0, capacity=3, rows=[(1,), (2,)])
+        assert len(block) == 2
+        assert list(block) == [(1,), (2,)]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            DiskBlock(block_id=0, capacity=0)
+
+    def test_overfull_construction_rejected(self):
+        with pytest.raises(StorageError):
+            DiskBlock(block_id=0, capacity=1, rows=[(1,), (2,)])
+
+
+class TestHeapFileLoad:
+    def test_packs_blocks_densely(self, int_schema):
+        heap = HeapFile("r", int_schema, block_size=16)  # bf = 2
+        heap.load([(i, i) for i in range(5)])
+        assert heap.blocking_factor == 2
+        assert heap.block_count == 3
+        assert heap.tuple_count == 5
+        assert len(heap) == 5
+
+    def test_paper_geometry(self, wide_schema):
+        heap = HeapFile("r", wide_schema, block_size=1024)
+        heap.load([(i, i, i, "x") for i in range(10_000)])
+        assert heap.blocking_factor == 5
+        assert heap.block_count == 2_000
+
+    def test_incremental_loads_accumulate(self, int_schema):
+        heap = HeapFile("r", int_schema, block_size=16)
+        heap.load([(0, 0)])
+        heap.load([(1, 1)])
+        assert heap.tuple_count == 2
+
+    def test_block_smaller_than_tuple_rejected(self, wide_schema):
+        with pytest.raises(StorageError):
+            HeapFile("r", wide_schema, block_size=100)
+
+    def test_load_validates_rows(self, int_schema):
+        heap = HeapFile("r", int_schema, block_size=16)
+        with pytest.raises(Exception):
+            heap.load([("bad", 1)])
+
+
+class TestHeapFileReads:
+    @pytest.fixture
+    def heap(self, int_schema):
+        heap = HeapFile("r", int_schema, block_size=16)
+        heap.load([(i, i * 10) for i in range(6)])
+        return heap
+
+    def test_read_block_charges_one_read(self, heap, unit_charger):
+        rows = heap.read_block(0, unit_charger)
+        assert rows == [(0, 0), (1, 10)]
+        assert unit_charger.counts[CostKind.BLOCK_READ] == 1
+
+    def test_read_blocks_concatenates(self, heap, unit_charger):
+        rows = heap.read_blocks([2, 0], unit_charger)
+        assert rows == [(4, 40), (5, 50), (0, 0), (1, 10)]
+        assert unit_charger.counts[CostKind.BLOCK_READ] == 2
+
+    def test_read_bad_block_raises(self, heap, unit_charger):
+        with pytest.raises(StorageError):
+            heap.read_block(99, unit_charger)
+
+    def test_scan_charges_every_block(self, heap, unit_charger):
+        rows = list(heap.scan(unit_charger))
+        assert len(rows) == 6
+        assert unit_charger.counts[CostKind.BLOCK_READ] == heap.block_count
+
+    def test_all_rows_is_free(self, heap, free_charger):
+        assert len(heap.all_rows()) == 6
+
+    def test_block_rows_uncharged(self, heap):
+        assert heap.block_rows_uncharged(1) == [(2, 20), (3, 30)]
+        with pytest.raises(StorageError):
+            heap.block_rows_uncharged(10)
+
+
+class TestSpool:
+    def test_write_charges_temp_write(self, int_schema, unit_charger):
+        spool = Spool(block_size=16)
+        f = spool.create(int_schema)
+        f.write([(1, 1), (2, 2), (3, 3)], unit_charger)
+        assert unit_charger.counts[CostKind.TEMP_WRITE] == 3
+        assert len(f) == 3
+
+    def test_page_count_ceiling(self, int_schema, unit_charger):
+        spool = Spool(block_size=16)  # bf = 2
+        f = spool.create(int_schema)
+        f.write([(i, i) for i in range(5)], unit_charger)
+        assert f.page_count(16) == 3
+
+    def test_sortedness_invalidated_by_write(self, int_schema, unit_charger):
+        spool = Spool(block_size=16)
+        f = spool.create(int_schema)
+        f.write([(2, 2)], unit_charger)
+        f.mark_sorted((0,))
+        assert f.sort_key == (0,)
+        f.write([(1, 1)], unit_charger)
+        assert f.sort_key is None
+
+    def test_peak_usage_tracked(self, int_schema, unit_charger):
+        spool = Spool(block_size=16)
+        a = spool.create(int_schema)
+        b = spool.create(int_schema)
+        a.write([(1, 1)] , unit_charger)
+        b.write([(2, 2), (3, 3)], unit_charger)
+        assert spool.peak_tuples == 3
+        spool.release(a)
+        assert spool.live_tuples == 2
+        assert spool.peak_tuples == 3
+        assert len(spool) == 2
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(StorageError):
+            Spool(block_size=0)

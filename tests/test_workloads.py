@@ -1,0 +1,135 @@
+"""Tests for the workload generators and paper setups."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.relational.evaluator import count_exact
+from repro.workloads.generators import (
+    intersection_relations,
+    join_relations,
+    paper_schema,
+    rows_chunked,
+    selection_relation,
+    uniform_relation,
+    zipf_relation,
+)
+from repro.workloads.paper import (
+    make_intersection_setup,
+    make_join_setup,
+    make_selection_setup,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPaperSchema:
+    def test_200_byte_tuples(self):
+        assert paper_schema().tuple_size == 200
+
+    def test_five_tuples_per_1k_block(self):
+        assert paper_schema().blocking_factor(1024) == 5
+
+
+class TestSelectionRelation:
+    def test_exact_output_cardinality(self, rng):
+        rows = selection_relation(rng, tuples=1_000, output_tuples=123)
+        assert sum(1 for r in rows if r[1] < 123) == 123
+
+    def test_a_is_permutation(self, rng):
+        rows = selection_relation(rng, tuples=500, output_tuples=10)
+        assert sorted(r[1] for r in rows) == list(range(500))
+
+    def test_invalid_output_count_rejected(self, rng):
+        with pytest.raises(ReproError):
+            selection_relation(rng, tuples=10, output_tuples=11)
+
+
+class TestIntersectionRelations:
+    def test_full_overlap(self, rng):
+        r1, r2 = intersection_relations(rng, tuples=300, common_tuples=300)
+        assert set(r1) == set(r2)
+
+    def test_partial_overlap_exact(self, rng):
+        r1, r2 = intersection_relations(rng, tuples=300, common_tuples=120)
+        assert len(set(r1) & set(r2)) == 120
+        assert len(r1) == len(r2) == 300
+
+    def test_shuffled_differently(self, rng):
+        r1, r2 = intersection_relations(rng, tuples=300, common_tuples=300)
+        assert r1 != r2  # same content, different block layout
+
+    def test_invalid_common_rejected(self, rng):
+        with pytest.raises(ReproError):
+            intersection_relations(rng, tuples=10, common_tuples=11)
+
+
+class TestJoinRelations:
+    def test_exact_join_cardinality(self, rng):
+        r1, r2, exact = join_relations(rng, tuples=700, fanout=7)
+        from collections import Counter
+
+        c1 = Counter(r[1] for r in r1)
+        c2 = Counter(r[1] for r in r2)
+        joined = sum(c1[v] * c2.get(v, 0) for v in c1)
+        assert joined == exact == (700 // 7) * 49
+
+    def test_paper_cardinality_near_70k(self, rng):
+        _, _, exact = join_relations(rng, tuples=10_000, fanout=7)
+        assert exact == 69_972
+
+    def test_orphans_do_not_match(self, rng):
+        r1, r2, exact = join_relations(rng, tuples=705, fanout=7)
+        assert len(r1) == len(r2) == 705  # orphan tuples kept
+
+    def test_invalid_fanout_rejected(self, rng):
+        with pytest.raises(ReproError):
+            join_relations(rng, tuples=10, fanout=0)
+
+
+class TestOtherGenerators:
+    def test_uniform_relation_ranges(self, rng):
+        rows = uniform_relation(rng, tuples=200, a_range=10)
+        assert len(rows) == 200
+        assert all(0 <= r[1] < 10 for r in rows)
+
+    def test_zipf_relation_skewed(self, rng):
+        rows = zipf_relation(rng, tuples=2_000, a_range=100, skew=1.5)
+        from collections import Counter
+
+        counts = Counter(r[1] for r in rows)
+        top = counts.most_common(1)[0][1]
+        assert top > 2_000 / 100 * 3  # heavily skewed head
+
+    def test_zipf_requires_skew_above_one(self, rng):
+        with pytest.raises(ReproError):
+            zipf_relation(rng, tuples=10, a_range=5, skew=1.0)
+
+    def test_rows_chunked(self):
+        chunks = list(rows_chunked([(i,) for i in range(5)], 2))
+        assert [len(c) for c in chunks] == [2, 2, 1]
+
+
+class TestPaperSetups:
+    def test_selection_setup_exact_count(self):
+        setup = make_selection_setup(output_tuples=1_000, tuples=2_000, seed=1)
+        assert setup.database.count(setup.query) == setup.exact_count == 1_000
+
+    def test_intersection_setup_exact_count(self):
+        setup = make_intersection_setup(tuples=1_000, common_tuples=600, seed=1)
+        assert setup.database.count(setup.query) == setup.exact_count == 600
+
+    def test_join_setup_exact_count(self):
+        setup = make_join_setup(tuples=1_400, fanout=7, seed=1)
+        assert setup.database.count(setup.query) == setup.exact_count
+
+    def test_join_setup_carries_initial_selectivity(self):
+        setup = make_join_setup(tuples=700, seed=1)
+        assert setup.initial_selectivities == {"join": 0.1}
+
+    def test_describe(self):
+        setup = make_selection_setup(output_tuples=100, tuples=1_000, seed=1)
+        assert "COUNT" in setup.describe()
