@@ -4,7 +4,7 @@ Each bench regenerates one comparison table (see DESIGN.md §4) and pins the
 qualitative conclusion the paper argues for in prose.
 """
 
-from benchmarks.conftest import column, render
+from benchmarks.conftest import render
 from repro.experiments.ablations import (
     ablation_adaptive_cost,
     ablation_fulfillment,

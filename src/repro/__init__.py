@@ -22,20 +22,8 @@ paper-versus-measured record of every reproduced table.
 """
 
 from repro.catalog import Attribute, AttributeType, Catalog, Schema
-from repro.core import Database, QueryResult
+from repro.core import Database, ExecutionContext, QueryResult, QuerySession
 from repro.costmodel import CostModel
-from repro.estimation import AggregateSpec, Estimate, avg_of, sum_of
-from repro.timecontrol import (
-    AnyOf,
-    ErrorConstrained,
-    FixedFractionHeuristic,
-    HardDeadline,
-    OneAtATimeInterval,
-    RunReport,
-    SingleInterval,
-    SoftDeadline,
-    TimeConstrainedExecutor,
-)
 from repro.errors import (
     CatalogError,
     CostModelError,
@@ -47,6 +35,15 @@ from repro.errors import (
     SchemaError,
     StorageError,
     TimeControlError,
+)
+from repro.estimation import AggregateSpec, Estimate, avg_of, sum_of
+from repro.observability import (
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    TeeSink,
+    TraceEvent,
+    TraceSink,
 )
 from repro.relational import (
     attr,
@@ -60,6 +57,17 @@ from repro.relational import (
     rel,
     select,
     union,
+)
+from repro.timecontrol import (
+    AnyOf,
+    ErrorConstrained,
+    FixedFractionHeuristic,
+    HardDeadline,
+    OneAtATimeInterval,
+    RunReport,
+    SingleInterval,
+    SoftDeadline,
+    TimeConstrainedExecutor,
 )
 from repro.timekeeping import (
     Clock,
@@ -84,11 +92,19 @@ __all__ = [
     "AggregateSpec",
     "Estimate",
     "ErrorConstrained",
+    "ExecutionContext",
     "FixedFractionHeuristic",
     "HardDeadline",
+    "JsonlSink",
+    "NullSink",
     "OneAtATimeInterval",
     "QueryResult",
+    "QuerySession",
+    "RecordingSink",
     "RunReport",
+    "TeeSink",
+    "TraceEvent",
+    "TraceSink",
     "SingleInterval",
     "SoftDeadline",
     "TimeConstrainedExecutor",

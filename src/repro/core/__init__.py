@@ -1,6 +1,7 @@
-"""Public DBMS facade (system S15)."""
+"""Public DBMS facade and per-query sessions (system S15)."""
 
 from repro.core.database import Database
 from repro.core.result import QueryResult
+from repro.core.session import ExecutionContext, QuerySession
 
-__all__ = ["Database", "QueryResult"]
+__all__ = ["Database", "ExecutionContext", "QueryResult", "QuerySession"]

@@ -29,17 +29,17 @@ import numpy as np
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Attribute, Schema
 from repro.catalog.types import AttributeType
+from repro.core.result import QueryResult
+from repro.core.session import ExecutionContext, QuerySession
 from repro.costmodel.linear import StepSpec
 from repro.costmodel.model import CostModel
-from repro.core.result import QueryResult
-from repro.engine.plan import StagedPlan
 from repro.errors import ReproError
+from repro.observability.trace import NULL_SINK, TraceSink
 from repro.relational.evaluator import ExactEvaluator
 from repro.relational.expression import Expression
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE, HeapFile
-from repro.timecontrol.executor import TimeConstrainedExecutor
 from repro.timecontrol.stopping import StoppingCriterion
-from repro.timecontrol.strategies import OneAtATimeInterval, TimeControlStrategy
+from repro.timecontrol.strategies import TimeControlStrategy
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.clock import SimulatedClock, WallClock
 from repro.timekeeping.profile import MachineProfile
@@ -150,9 +150,16 @@ class Database:
         child = self._seed_sequence.spawn(1)[0]
         return np.random.default_rng(child)
 
-    def _make_charger(self, rng: np.random.Generator) -> CostCharger:
+    def _make_charger(
+        self,
+        rng: np.random.Generator,
+        sink: TraceSink | None = None,
+        trace_costs: bool = False,
+    ) -> CostCharger:
         clock = SimulatedClock() if self.clock_kind == "simulated" else WallClock()
-        return CostCharger(self.profile, clock=clock, rng=rng)
+        return CostCharger(
+            self.profile, clock=clock, rng=rng, sink=sink, trace_costs=trace_costs
+        )
 
     def _default_specs(self):
         """Designer cost-model priors for this machine class.
@@ -213,7 +220,7 @@ class Database:
     # ------------------------------------------------------------------
     # Time-constrained estimation — the paper's contribution
     # ------------------------------------------------------------------
-    def count_estimate(
+    def open_session(
         self,
         expr: Expression,
         quota: float,
@@ -229,24 +236,22 @@ class Database:
         max_stages: int = 64,
         aggregate: "AggregateSpec | None" = None,
         selectivity_source: str = "runtime",
-    ) -> QueryResult:
-        """Estimate COUNT(E) within ``quota`` seconds (Figure 3.1).
+        sink: TraceSink | None = None,
+        trace_costs: bool = False,
+    ) -> QuerySession:
+        """Open a :class:`QuerySession` for one time-constrained run.
 
-        Parameters mirror the prototype's implementation decisions
-        (Figure 3.2): ``strategy`` defaults to One-at-a-Time-Interval,
-        ``stopping`` to the hard time constraint, sampling is the cluster
-        plan with full fulfillment unless ``full_fulfillment=False``.
-        ``measure_overspend=True`` reproduces ERAM's measurement mode (an
-        overspending stage runs to completion and is reported); set it False
-        for live hard-deadline semantics (mid-stage interrupt).
+        The session owns every piece of per-run mutable state — the spawned
+        RNG stream, the cost charger and its clock, the adaptive cost model,
+        the staged plan, and the trace sink — so sessions are fully
+        independent of each other. ``sink`` receives the run's structured
+        trace (see :mod:`repro.observability`); ``trace_costs=True``
+        additionally emits one event per primitive cost charge (verbose).
+
+        Call :meth:`QuerySession.run` to execute; or use the
+        :meth:`count_estimate` / :meth:`sum_estimate` / :meth:`avg_estimate`
+        one-shot conveniences.
         """
-        rng = self._spawn_rng(seed)
-        charger = self._make_charger(rng)
-        model = cost_model or CostModel(
-            specs=step_specs if step_specs is not None else self._default_specs()
-        )
-        from repro.estimation.aggregates import COUNT
-
         if selectivity_source not in ("runtime", "hybrid", "prestored"):
             raise ReproError(
                 f"selectivity_source must be 'runtime', 'hybrid' or "
@@ -260,28 +265,55 @@ class Database:
             hinter.require_statistics(expr)
             hint_provider = hinter.hint
 
-        plan = StagedPlan(
+        resolved_sink = sink if sink is not None else NULL_SINK
+        rng = self._spawn_rng(seed)
+        context = ExecutionContext(
+            rng=rng,
+            charger=self._make_charger(
+                rng, sink=resolved_sink, trace_costs=trace_costs
+            ),
+            cost_model=cost_model
+            or CostModel(
+                specs=step_specs
+                if step_specs is not None
+                else self._default_specs()
+            ),
+            sink=resolved_sink,
+        )
+        return QuerySession(
             expr,
             self.catalog,
-            charger,
-            model,
-            rng,
+            quota,
+            context,
+            strategy=strategy,
+            stopping=stopping,
+            measure_overspend=measure_overspend,
+            max_stages=max_stages,
+            aggregate=aggregate,
             block_size=self.block_size,
             full_fulfillment=full_fulfillment,
             initial_selectivities=initial_selectivities,
             zero_fix_beta=zero_fix_beta,
-            aggregate=aggregate if aggregate is not None else COUNT,
             hint_provider=hint_provider,
             pin_selectivities=selectivity_source == "prestored",
         )
-        executor = TimeConstrainedExecutor(
-            plan,
-            strategy or OneAtATimeInterval(d_beta=24.0),
-            stopping=stopping,
-            measure_overspend=measure_overspend,
-            max_stages=max_stages,
-        )
-        return QueryResult(report=executor.run(quota))
+
+    def count_estimate(
+        self, expr: Expression, quota: float, **kwargs
+    ) -> QueryResult:
+        """Estimate COUNT(E) within ``quota`` seconds (Figure 3.1).
+
+        Parameters mirror the prototype's implementation decisions
+        (Figure 3.2): ``strategy`` defaults to One-at-a-Time-Interval,
+        ``stopping`` to the hard time constraint, sampling is the cluster
+        plan with full fulfillment unless ``full_fulfillment=False``.
+        ``measure_overspend=True`` reproduces ERAM's measurement mode (an
+        overspending stage runs to completion and is reported); set it False
+        for live hard-deadline semantics (mid-stage interrupt). Accepts
+        every keyword of :meth:`open_session`; equivalent to
+        ``open_session(expr, quota, **kwargs).run()``.
+        """
+        return self.open_session(expr, quota, **kwargs).run()
 
     def sum_estimate(
         self, expr: Expression, attribute: str, quota: float, **kwargs
@@ -291,13 +323,13 @@ class Database:
         The paper restricts f(E) to COUNT; this is the natural extension
         over the same point-space estimators (see
         :mod:`repro.estimation.aggregates`). Accepts every keyword of
-        :meth:`count_estimate` except ``aggregate``.
+        :meth:`open_session` except ``aggregate``.
         """
         from repro.estimation.aggregates import sum_of
 
-        return self.count_estimate(
+        return self.open_session(
             expr, quota, aggregate=sum_of(attribute), **kwargs
-        )
+        ).run()
 
     def avg_estimate(
         self, expr: Expression, attribute: str, quota: float, **kwargs
@@ -305,6 +337,6 @@ class Database:
         """Estimate AVG(attribute) over E's output within ``quota`` seconds."""
         from repro.estimation.aggregates import avg_of
 
-        return self.count_estimate(
+        return self.open_session(
             expr, quota, aggregate=avg_of(attribute), **kwargs
-        )
+        ).run()

@@ -15,7 +15,6 @@ and exposes the three operations the time-constrained executor needs:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,6 +46,13 @@ from repro.estimation.count_estimators import (
 from repro.estimation.estimate import Estimate
 from repro.estimation.goodman import goodman_estimate
 from repro.estimation.selectivity import SelectivityTracker
+from repro.observability.trace import (
+    NULL_SINK,
+    NullSink,
+    OperatorAdvance,
+    ScanAdvance,
+    TraceSink,
+)
 from repro.relational.expression import (
     Expression,
     Intersect,
@@ -154,8 +160,10 @@ class StagedPlan:
         aggregate: AggregateSpec = COUNT,
         hint_provider=None,
         pin_selectivities: bool = False,
+        sink: TraceSink | None = None,
     ) -> None:
         self.expr = expr
+        self.sink: TraceSink = sink if sink is not None else NULL_SINK
         self.aggregate = aggregate
         self._hint_provider = hint_provider
         self._pin_selectivities = pin_selectivities
@@ -204,9 +212,11 @@ class StagedPlan:
                     count_term.coefficient, root, space, value_index=value_index
                 )
             )
-        if zero_fix_beta is not None:
-            for tracker in self.trackers():
+        for tracker in self.trackers():
+            if zero_fix_beta is not None:
                 tracker.zero_fix_beta = zero_fix_beta
+            if not isinstance(self.sink, NullSink):
+                tracker.sink = self.sink
         self.stages_completed = 0
         self.history: list[StageStats] = []
 
@@ -371,17 +381,59 @@ class StagedPlan:
         if fraction <= 0:
             raise EstimationError(f"stage fraction must be positive: {fraction}")
         stage = self.stages_completed + 1
+        trace = not isinstance(self.sink, NullSink)
         blocks_before = self.blocks_drawn()
         for scan in self.scans:
+            scan_blocks_before = scan.blocks_drawn
             scan.advance(stage, fraction)
+            if trace:
+                self.sink.emit(
+                    ScanAdvance(
+                        stage=stage,
+                        relation=scan.relation.name,
+                        new_blocks=scan.blocks_drawn - scan_blocks_before,
+                        new_tuples=scan.new_tuples,
+                        cum_blocks=scan.blocks_drawn,
+                        cum_tuples=scan.cum_tuples,
+                    )
+                )
         new_outputs = 0
         new_points = 0
         for term in self.terms:
             before_points = term.root.points_so_far
             before_out = term.root.cum_out_tuples
+            node_before = (
+                {
+                    id(node): (node.cum_out_tuples, node.points_so_far)
+                    for node in term.root.iter_nodes()
+                    if not isinstance(node, StagedScan)
+                }
+                if trace
+                else {}
+            )
             new_rows = term.root.advance(stage)
             if term.value_index is not None:
                 term.moments.add_many(row[term.value_index] for row in new_rows)
+            if trace:
+                for node in term.root.iter_nodes():
+                    if isinstance(node, StagedScan):
+                        continue
+                    out_before, pts_before = node_before[id(node)]
+                    label = (
+                        node.tracker.label
+                        if node.tracker is not None
+                        else type(node).__name__
+                    )
+                    self.sink.emit(
+                        OperatorAdvance(
+                            stage=stage,
+                            operator=label,
+                            out_tuples=node.cum_out_tuples - out_before,
+                            new_points=node.points_so_far - pts_before,
+                            cum_out_tuples=node.cum_out_tuples,
+                            cum_points=node.points_so_far,
+                        )
+                    )
             new_points += term.root.points_so_far - before_points
             new_outputs += term.root.cum_out_tuples - before_out
         self.stages_completed = stage

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import EstimationError
 from repro.estimation.count_estimators import srs_selectivity_variance
+from repro.observability.trace import SelectivityRevision, TraceSink
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,7 @@ class SelectivityTracker:
     zero_fix_beta: float = DEFAULT_ZERO_FIX_BETA
     pinned: bool = False
     observations: list[StageObservation] = field(default_factory=list)
+    sink: TraceSink | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.initial <= 1.0:
@@ -80,6 +82,16 @@ class SelectivityTracker:
     def record_stage(self, tuples: int, points: int) -> None:
         """Record one completed stage's output count and sampled points."""
         self.observations.append(StageObservation(tuples, points))
+        if self.sink is not None:
+            self.sink.emit(
+                SelectivityRevision(
+                    operator=self.label,
+                    stage=len(self.observations),
+                    tuples=tuples,
+                    points=points,
+                    sel_prev=self.sel_prev,
+                )
+            )
 
     @property
     def total_tuples(self) -> int:

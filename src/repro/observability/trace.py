@@ -1,0 +1,318 @@
+"""Structured tracing of time-constrained query runs.
+
+One query run emits an ordered stream of typed events — the life of
+Figure 3.1's while-loop made observable. Every layer contributes its own
+view of a stage:
+
+* the **strategy** emits :class:`FractionChosen` with the bisection's
+  iteration count (Figure 3.4's loop);
+* the **executor** brackets each stage with :class:`StageStart` /
+  :class:`StageEnd` and flags mid-stage timer interrupts with
+  :class:`DeadlineAbort`;
+* the **plan** emits per-relation :class:`ScanAdvance` (blocks and tuples
+  drawn) and per-operator :class:`OperatorAdvance` (output tuples over new
+  points) as the staged trees advance;
+* the **selectivity trackers** emit :class:`SelectivityRevision` whenever
+  Revise-Selectivities (Figure 3.3) incorporates a stage observation;
+* the **cost charger** optionally emits one :class:`CostCharged` per
+  primitive charge (``trace_costs=True`` — verbose, off by default).
+
+Events flow into a :class:`TraceSink`: :class:`NullSink` drops them (the
+default; near-zero overhead), :class:`RecordingSink` keeps them in memory
+for assertions and analysis, :class:`JsonlSink` serializes each event as
+one JSON line for offline replay, and :class:`TeeSink` fans out to several
+sinks at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import IO, ClassVar, Iterable, Iterator, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class of all trace events (``kind`` identifies the type)."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the event (JSON-serializable)."""
+        payload = dataclasses.asdict(self)
+        payload["event"] = self.kind
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Query lifecycle (emitted by the executor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryStart(TraceEvent):
+    """A time-constrained run began."""
+
+    kind: ClassVar[str] = "query_start"
+    quota: float = 0.0
+    aggregate: str = "count"
+    strategy: str = ""
+    stopping: str = ""
+    clock: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueryEnd(TraceEvent):
+    """The run terminated (``termination`` mirrors ``RunReport``)."""
+
+    kind: ClassVar[str] = "query_end"
+    termination: str = ""
+    stages_completed: int = 0
+    estimate_value: float | None = None
+    estimate_variance: float | None = None
+    elapsed_seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Stage lifecycle (emitted by the strategy and the executor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FractionChosen(TraceEvent):
+    """The strategy sized the next stage (``fraction=None`` = infeasible)."""
+
+    kind: ClassVar[str] = "fraction_chosen"
+    stage: int = 0
+    fraction: float | None = None
+    budget_seconds: float = 0.0
+    bisection_iterations: int = 0
+
+
+@dataclass(frozen=True)
+class StageStart(TraceEvent):
+    """A stage began executing at the chosen fraction."""
+
+    kind: ClassVar[str] = "stage_start"
+    stage: int = 0
+    fraction: float = 0.0
+    remaining_seconds: float = 0.0
+    clock: float = 0.0
+
+
+@dataclass(frozen=True)
+class StageEnd(TraceEvent):
+    """A stage finished (or was killed); counts mirror its StageReport."""
+
+    kind: ClassVar[str] = "stage_end"
+    stage: int = 0
+    fraction: float = 0.0
+    duration: float = 0.0
+    blocks_read: int = 0
+    new_points: int = 0
+    new_outputs: int = 0
+    completed_in_time: bool = True
+    aborted_mid_stage: bool = False
+    estimate_value: float | None = None
+    estimate_variance: float | None = None
+
+
+@dataclass(frozen=True)
+class DeadlineAbort(TraceEvent):
+    """The armed timer interrupt killed a stage mid-flight."""
+
+    kind: ClassVar[str] = "deadline_abort"
+    stage: int = 0
+    deadline: float = 0.0
+    clock: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Plan internals (emitted by StagedPlan.advance_stage)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScanAdvance(TraceEvent):
+    """One shared relation scan drew its stage sample."""
+
+    kind: ClassVar[str] = "scan_advance"
+    stage: int = 0
+    relation: str = ""
+    new_blocks: int = 0
+    new_tuples: int = 0
+    cum_blocks: int = 0
+    cum_tuples: int = 0
+
+
+@dataclass(frozen=True)
+class OperatorAdvance(TraceEvent):
+    """One staged operator processed its stage inputs."""
+
+    kind: ClassVar[str] = "operator_advance"
+    stage: int = 0
+    operator: str = ""
+    out_tuples: int = 0
+    new_points: int = 0
+    cum_out_tuples: int = 0
+    cum_points: int = 0
+
+
+# ----------------------------------------------------------------------
+# Estimator state (emitted by SelectivityTracker.record_stage)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectivityRevision(TraceEvent):
+    """Revise-Selectivities absorbed one stage observation (Figure 3.3)."""
+
+    kind: ClassVar[str] = "selectivity_revision"
+    operator: str = ""
+    stage: int = 0
+    tuples: int = 0
+    points: int = 0
+    sel_prev: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Cost accounting (emitted by CostCharger when trace_costs is enabled)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CostCharged(TraceEvent):
+    """One primitive charge advanced the clock (verbose; opt-in)."""
+
+    kind: ClassVar[str] = "cost_charged"
+    cost_kind: str = ""
+    amount: float = 0.0
+    seconds: float = 0.0
+    clock: float = 0.0
+
+
+_EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        QueryStart,
+        QueryEnd,
+        FractionChosen,
+        StageStart,
+        StageEnd,
+        DeadlineAbort,
+        ScanAdvance,
+        OperatorAdvance,
+        SelectivityRevision,
+        CostCharged,
+    )
+}
+
+
+def event_from_dict(payload: dict) -> TraceEvent:
+    """Rebuild a typed event from its :meth:`TraceEvent.to_dict` form."""
+    data = dict(payload)
+    kind = data.pop("event", None)
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event kind {kind!r}")
+    return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that accepts trace events, one at a time, in order."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+
+class NullSink:
+    """Drops every event — the default sink on untraced runs."""
+
+    __slots__ = ()
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+"""Shared no-op sink instance (sinks are stateless; one suffices)."""
+
+
+class RecordingSink:
+    """Keeps every event in memory, in emission order."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str | type[TraceEvent]) -> list[TraceEvent]:
+        """Events of one kind, by ``kind`` string or event class."""
+        if isinstance(kind, type):
+            return [e for e in self.events if isinstance(e, kind)]
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> list[str]:
+        """The ``kind`` of every event, in order (for order assertions)."""
+        return [e.kind for e in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink:
+    """Serializes each event as one JSON line (replayable offline).
+
+    Accepts a path (opened and owned; call :meth:`close` or use as a
+    context manager) or any writable text file object (borrowed; left
+    open). Lines parse back into typed events with
+    :func:`event_from_dict`.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl_trace(path: str) -> list[TraceEvent]:
+    """Parse a :class:`JsonlSink` file back into typed events."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+class TeeSink:
+    """Fans every event out to several sinks, in order."""
+
+    def __init__(self, sinks: Iterable[TraceSink]) -> None:
+        self.sinks: tuple[TraceSink, ...] = tuple(sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)

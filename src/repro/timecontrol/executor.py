@@ -26,6 +26,14 @@ from repro.costmodel import steps as step_names
 from repro.engine.plan import StagedPlan
 from repro.errors import QuotaExpired, TimeControlError
 from repro.estimation.estimate import Estimate
+from repro.observability.trace import (
+    DeadlineAbort,
+    QueryEnd,
+    QueryStart,
+    StageEnd,
+    StageStart,
+    TraceSink,
+)
 from repro.timecontrol.stopping import HardDeadline, StopState, StoppingCriterion
 from repro.timecontrol.strategies import (
     FixedFractionHeuristic,
@@ -118,12 +126,15 @@ class TimeConstrainedExecutor:
         stopping: StoppingCriterion | None = None,
         measure_overspend: bool = True,
         max_stages: int = 64,
+        sink: TraceSink | None = None,
     ) -> None:
         self.plan = plan
         self.strategy = strategy
         self.stopping = stopping if stopping is not None else HardDeadline()
         self.measure_overspend = measure_overspend
         self.max_stages = max_stages
+        # Default to the plan's sink so one wiring point traces the whole run.
+        self.sink: TraceSink = sink if sink is not None else plan.sink
 
     def run(self, quota: float) -> RunReport:
         """Evaluate the plan's COUNT within ``quota`` seconds."""
@@ -141,6 +152,15 @@ class TimeConstrainedExecutor:
         live_hard = self.stopping.hard and not self.measure_overspend
         if math.isfinite(deadline):
             charger.arm(deadline, hard=live_hard)
+        self.sink.emit(
+            QueryStart(
+                quota=quota,
+                aggregate=self.plan.aggregate.kind,
+                strategy=self.strategy.describe(),
+                stopping=type(self.stopping).__name__,
+                clock=start,
+            )
+        )
 
         estimates: list[Estimate] = []
         try:
@@ -159,10 +179,26 @@ class TimeConstrainedExecutor:
                 if fraction is None:
                     report.termination = "no_feasible_stage"
                     break
+                self.sink.emit(
+                    StageStart(
+                        stage=self.plan.stages_completed + 1,
+                        fraction=fraction,
+                        remaining_seconds=remaining,
+                        clock=now,
+                    )
+                )
                 stage_report = self._run_stage(fraction, deadline)
                 report.stages.append(stage_report)
                 if stage_report.aborted_mid_stage:
                     report.termination = "interrupted"
+                    self.sink.emit(
+                        DeadlineAbort(
+                            stage=stage_report.index,
+                            deadline=deadline,
+                            clock=clock.now(),
+                        )
+                    )
+                    self._emit_stage_end(stage_report)
                     break
                 if isinstance(self.strategy, FixedFractionHeuristic):
                     self.strategy.note_stage(
@@ -171,6 +207,7 @@ class TimeConstrainedExecutor:
                 estimate = self.plan.estimate()
                 stage_report.estimate = estimate
                 estimates.append(estimate)
+                self._emit_stage_end(stage_report)
                 if stage_report.completed_in_time:
                     report.estimate = estimate
                 else:
@@ -201,7 +238,40 @@ class TimeConstrainedExecutor:
             report.estimate_with_overrun = report.estimate
         if not report.termination:
             report.termination = "deadline"
+        self.sink.emit(
+            QueryEnd(
+                termination=report.termination,
+                stages_completed=report.stages_completed_in_time,
+                estimate_value=(
+                    report.estimate.value if report.estimate else None
+                ),
+                estimate_variance=(
+                    report.estimate.variance if report.estimate else None
+                ),
+                elapsed_seconds=clock.now() - start,
+            )
+        )
         return report
+
+    def _emit_stage_end(self, stage: StageReport) -> None:
+        self.sink.emit(
+            StageEnd(
+                stage=stage.index,
+                fraction=stage.fraction,
+                duration=stage.duration,
+                blocks_read=stage.blocks_read,
+                new_points=stage.new_points,
+                new_outputs=stage.new_outputs,
+                completed_in_time=stage.completed_in_time,
+                aborted_mid_stage=stage.aborted_mid_stage,
+                estimate_value=(
+                    stage.estimate.value if stage.estimate else None
+                ),
+                estimate_variance=(
+                    stage.estimate.variance if stage.estimate else None
+                ),
+            )
+        )
 
     def _notify_stage_duration(self, seconds: float) -> None:
         """Feed stage durations to criteria that model future stages."""

@@ -28,6 +28,9 @@ from repro.errors import TimeControlError
 
 CostFunction = Callable[[float], float]
 
+BisectionObserver = Callable[[int, float, float], None]
+"""Per-iteration hook: (iteration number, candidate fraction, predicted cost)."""
+
 
 def determine_fraction(
     cost: CostFunction,
@@ -36,11 +39,14 @@ def determine_fraction(
     max_fraction: float,
     epsilon_ratio: float = 0.02,
     max_iterations: int = 48,
+    observer: BisectionObserver | None = None,
 ) -> float | None:
     """Largest fraction whose predicted cost fits ``budget_seconds``.
 
     Returns ``None`` when no feasible stage exists (empty bounds or even the
-    minimum fraction overruns the budget).
+    minimum fraction overruns the budget). ``observer`` (if given) is called
+    once per bisection iteration — the tracing layer uses it to report how
+    hard Figure 3.4's loop worked for the chosen fraction.
     """
     if epsilon_ratio <= 0:
         raise TimeControlError("epsilon_ratio must be positive")
@@ -55,8 +61,10 @@ def determine_fraction(
     epsilon = epsilon_ratio * budget_seconds
     low, high = min_fraction, max_fraction
     f = 0.5 * (low + high)
-    for _ in range(max_iterations):
+    for iteration in range(1, max_iterations + 1):
         mu = cost(f)
+        if observer is not None:
+            observer(iteration, f, mu)
         # Figure 3.4's loop condition: stop once μ_t is within ε of T_i —
         # on either side. Accepting a predicted cost slightly above the
         # budget is what makes d_β (not the bisection) carry the risk

@@ -35,7 +35,20 @@ from repro.engine.nodes import SelProvider
 from repro.engine.plan import StagedPlan
 from repro.errors import TimeControlError
 from repro.estimation.selectivity import SelectivityTracker
+from repro.observability.trace import FractionChosen
 from repro.timecontrol.sample_size import determine_fraction
+
+
+class _BisectionCounter:
+    """Counts Figure 3.4 iterations for the trace (see ``determine_fraction``)."""
+
+    __slots__ = ("iterations",)
+
+    def __init__(self) -> None:
+        self.iterations = 0
+
+    def __call__(self, iteration: int, fraction: float, cost: float) -> None:
+        self.iterations = iteration
 
 
 class TimeControlStrategy:
@@ -56,6 +69,24 @@ class TimeControlStrategy:
         """Stage budget after reserving the predicted per-stage overhead."""
         overhead = plan.cost_model.predict(step_names.STAGE_OVERHEAD, [1.0])
         return remaining_seconds - overhead
+
+    @staticmethod
+    def _trace_choice(
+        plan: StagedPlan,
+        stage: int,
+        fraction: float | None,
+        budget: float,
+        iterations: int = 0,
+    ) -> float | None:
+        plan.sink.emit(
+            FractionChosen(
+                stage=stage,
+                fraction=fraction,
+                budget_seconds=budget,
+                bisection_iterations=iterations,
+            )
+        )
+        return fraction
 
 
 @dataclass
@@ -91,12 +122,17 @@ class OneAtATimeInterval(TimeControlStrategy):
     ) -> float | None:
         budget = self._budget(plan, remaining_seconds)
         provider = self.sel_provider()
-        return determine_fraction(
+        counter = _BisectionCounter()
+        fraction = determine_fraction(
             cost=lambda f: plan.predict_stage(f, provider),
             budget_seconds=budget,
             min_fraction=plan.min_feasible_fraction(),
             max_fraction=plan.max_remaining_fraction(),
             epsilon_ratio=self.epsilon_ratio,
+            observer=counter,
+        )
+        return self._trace_choice(
+            plan, stage, fraction, budget, counter.iterations
         )
 
     def describe(self) -> str:
@@ -218,12 +254,17 @@ class SingleInterval(TimeControlStrategy):
         self, plan: StagedPlan, remaining_seconds: float, stage: int
     ) -> float | None:
         budget = self._budget(plan, remaining_seconds)
-        return determine_fraction(
+        counter = _BisectionCounter()
+        fraction = determine_fraction(
             cost=lambda f: self._stage_cost_with_margin(plan, f),
             budget_seconds=budget,
             min_fraction=plan.min_feasible_fraction(),
             max_fraction=plan.max_remaining_fraction(),
             epsilon_ratio=self.epsilon_ratio,
+            observer=counter,
+        )
+        return self._trace_choice(
+            plan, stage, fraction, budget, counter.iterations
         )
 
     def describe(self) -> str:
@@ -268,6 +309,10 @@ class FixedFractionHeuristic(TimeControlStrategy):
     def choose_fraction(
         self, plan: StagedPlan, remaining_seconds: float, stage: int
     ) -> float | None:
+        fraction = self._choose(plan, remaining_seconds)
+        return self._trace_choice(plan, stage, fraction, remaining_seconds)
+
+    def _choose(self, plan: StagedPlan, remaining_seconds: float) -> float | None:
         min_f = plan.min_feasible_fraction()
         max_f = plan.max_remaining_fraction()
         if min_f <= 0 or max_f <= 0:

@@ -30,6 +30,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import QuotaExpired, TimeControlError
+from repro.observability.trace import NULL_SINK, CostCharged, TraceSink
 from repro.timekeeping.clock import Clock, SimulatedClock
 from repro.timekeeping.profile import CostKind, MachineProfile
 
@@ -50,10 +51,16 @@ class CostCharger:
         profile: MachineProfile,
         clock: Clock | None = None,
         rng: np.random.Generator | None = None,
+        sink: TraceSink | None = None,
+        trace_costs: bool = False,
     ) -> None:
         self.profile = profile
         self.clock: Clock = clock if clock is not None else SimulatedClock()
         self._rng = rng if rng is not None else np.random.default_rng()
+        self.sink: TraceSink = sink if sink is not None else NULL_SINK
+        # Per-charge events sit on the hottest path in the system; they are
+        # gated behind an explicit flag so untraced runs pay one bool check.
+        self.trace_costs = trace_costs
         self._deadline: float | None = None
         self._hard = False
         self._first_crossing: float | None = None
@@ -122,6 +129,15 @@ class CostCharger:
         self.totals[kind] += seconds
         self.counts[kind] += amount
         now = self._advance(seconds)
+        if self.trace_costs:
+            self.sink.emit(
+                CostCharged(
+                    cost_kind=kind.name.lower(),
+                    amount=amount,
+                    seconds=seconds,
+                    clock=now,
+                )
+            )
         if self._deadline is not None and now > self._deadline:
             if self._first_crossing is None:
                 self._first_crossing = now

@@ -15,8 +15,8 @@ import numpy as np
 import pytest
 
 from repro.catalog.catalog import Catalog
-from repro.costmodel.model import CostModel
 from repro.costmodel import steps as step_names
+from repro.costmodel.model import CostModel
 from repro.engine.plan import StagedPlan
 from repro.errors import QuotaExpired, TimeControlError
 from repro.relational.expression import intersect, join, rel, select

@@ -6,7 +6,6 @@ population, the expectation of the estimator equals the true count exactly.
 """
 
 import itertools
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,389 @@
+"""Tests of the structured tracing layer (repro.observability).
+
+Covers the sinks in isolation, the full event stream of a multi-stage
+selection run against its :class:`RunReport`, the JSONL round-trip, the
+opt-in cost tracing, and the hard-deadline mid-stage abort trace.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.database import Database
+from repro.costmodel.linear import StepSpec
+from repro.costmodel.model import CostModel
+from repro.costmodel.steps import default_step_specs
+from repro.observability import (
+    NULL_SINK,
+    CostCharged,
+    DeadlineAbort,
+    FractionChosen,
+    JsonlSink,
+    NullSink,
+    OperatorAdvance,
+    QueryEnd,
+    QueryStart,
+    RecordingSink,
+    ScanAdvance,
+    SelectivityRevision,
+    StageEnd,
+    StageStart,
+    TeeSink,
+    TraceSink,
+    event_from_dict,
+    read_jsonl_trace,
+)
+from repro.relational import cmp, rel, select
+from repro.timecontrol.stopping import HardDeadline
+from repro.timecontrol.strategies import OneAtATimeInterval
+from repro.timekeeping.profile import MachineProfile
+from repro.workloads.paper import make_selection_setup
+
+
+def calibrated_cost_model(rate: float) -> CostModel:
+    """Priors matching a uniform(rate) machine (see tests/test_executor.py)."""
+    specs = {}
+    for name, spec in default_step_specs().items():
+        specs[name] = StepSpec(
+            name,
+            prior=tuple(rate for _ in spec.prior),
+            scales=spec.scales,
+            weight=0.05,
+        )
+    return CostModel(specs=specs)
+
+
+# ----------------------------------------------------------------------
+# Sinks in isolation
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_null_sink_is_a_sink_and_drops(self):
+        assert isinstance(NULL_SINK, TraceSink)
+        NULL_SINK.emit(QueryStart(quota=1.0))  # no effect, no error
+
+    def test_recording_sink_keeps_order(self):
+        sink = RecordingSink()
+        sink.emit(QueryStart(quota=1.0))
+        sink.emit(StageStart(stage=1))
+        sink.emit(QueryEnd(termination="deadline"))
+        assert len(sink) == 3
+        assert sink.kinds() == ["query_start", "stage_start", "query_end"]
+        assert [e.kind for e in sink] == sink.kinds()
+
+    def test_recording_sink_of_kind_by_string_and_type(self):
+        sink = RecordingSink()
+        sink.emit(StageStart(stage=1))
+        sink.emit(StageEnd(stage=1))
+        sink.emit(StageStart(stage=2))
+        assert len(sink.of_kind("stage_start")) == 2
+        assert sink.of_kind(StageStart) == sink.of_kind("stage_start")
+        assert [e.stage for e in sink.of_kind(StageStart)] == [1, 2]
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_tee_sink_fans_out_in_order(self):
+        a, b = RecordingSink(), RecordingSink()
+        tee = TeeSink([a, b])
+        tee.emit(StageStart(stage=1))
+        assert a.events == b.events
+        assert a.of_kind(StageStart)[0].stage == 1
+
+    def test_jsonl_sink_borrows_file_object(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit(StageStart(stage=3, fraction=0.25))
+        sink.close()  # borrowed: flushed, not closed
+        assert not buffer.closed
+        payload = json.loads(buffer.getvalue())
+        assert payload["event"] == "stage_start"
+        assert payload["stage"] == 3
+
+    def test_jsonl_sink_owns_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        events = [
+            QueryStart(quota=2.0, strategy="x", stopping="HardDeadline"),
+            FractionChosen(stage=1, fraction=0.5, bisection_iterations=7),
+            StageEnd(stage=1, blocks_read=4, estimate_value=12.5),
+            QueryEnd(termination="exhausted", stages_completed=1),
+        ]
+        with JsonlSink(path) as sink:
+            for event in events:
+                sink.emit(event)
+            assert sink.events_written == len(events)
+        assert read_jsonl_trace(path) == events
+
+    def test_event_round_trip_every_type(self):
+        samples = [
+            QueryStart(quota=1.5, aggregate="sum", strategy="s", stopping="h"),
+            QueryEnd(termination="deadline", estimate_value=None),
+            FractionChosen(stage=2, fraction=None, budget_seconds=0.5),
+            StageStart(stage=2, fraction=0.1, remaining_seconds=1.0),
+            StageEnd(stage=2, aborted_mid_stage=True, completed_in_time=False),
+            DeadlineAbort(stage=2, deadline=10.0, clock=10.2),
+            ScanAdvance(stage=1, relation="r1", new_blocks=3, cum_blocks=3),
+            OperatorAdvance(stage=1, operator="select#1", out_tuples=9),
+            SelectivityRevision(operator="select#1", stage=1, sel_prev=0.4),
+            CostCharged(cost_kind="block_read", amount=2.0, seconds=0.02),
+        ]
+        for event in samples:
+            payload = json.loads(json.dumps(event.to_dict()))
+            assert event_from_dict(payload) == event
+
+    def test_event_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown trace event"):
+            event_from_dict({"event": "nope"})
+
+
+# ----------------------------------------------------------------------
+# The full trace of one multi-stage run
+# ----------------------------------------------------------------------
+TRACE_SEED = 1  # three in-time stages on the small Figure 5.1 cell below
+
+
+def small_selection_setup():
+    return make_selection_setup(output_tuples=100, tuples=1_000)
+
+
+def traced_run(sink, seed=TRACE_SEED, **kwargs):
+    setup = small_selection_setup()
+    result = setup.database.count_estimate(
+        setup.query,
+        quota=setup.quota,
+        seed=seed,
+        sink=sink,
+        strategy=OneAtATimeInterval(d_beta=24.0),
+        initial_selectivities=setup.initial_selectivities,
+        **kwargs,
+    )
+    return result
+
+
+class TestRunTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        sink = RecordingSink()
+        result = traced_run(sink)
+        return sink, result.report
+
+    def test_run_is_three_stages(self, trace):
+        _, report = trace
+        assert report.stages_completed_in_time >= 3
+
+    def test_brackets_query_start_end(self, trace):
+        sink, report = trace
+        first, last = sink.events[0], sink.events[-1]
+        assert isinstance(first, QueryStart)
+        assert first.quota == report.quota
+        assert first.aggregate == "count"
+        assert "One-at-a-Time" in first.strategy or first.strategy
+        assert isinstance(last, QueryEnd)
+        assert last.termination == report.termination
+        assert last.stages_completed == report.stages_completed_in_time
+        assert last.estimate_value == pytest.approx(report.estimate.value)
+
+    def test_stage_lifecycle_order(self, trace):
+        """Per stage: fraction_chosen -> stage_start -> ... -> stage_end."""
+        sink, report = trace
+        for stage in report.stages:
+            i = stage.index
+            positions = {
+                kind: [
+                    k
+                    for k, e in enumerate(sink.events)
+                    if e.kind == kind and e.stage == i
+                ]
+                for kind in ("fraction_chosen", "stage_start", "stage_end")
+            }
+            assert len(positions["stage_start"]) == 1
+            assert len(positions["stage_end"]) == 1
+            assert positions["fraction_chosen"], f"stage {i} has no sizing event"
+            assert (
+                positions["fraction_chosen"][-1]
+                < positions["stage_start"][0]
+                < positions["stage_end"][0]
+            )
+        starts = [e.stage for e in sink.of_kind(StageStart)]
+        assert starts == sorted(starts)
+
+    def test_fraction_chosen_matches_stage(self, trace):
+        sink, report = trace
+        chosen = {e.stage: e for e in sink.of_kind(FractionChosen)}
+        for stage in report.stages:
+            event = chosen[stage.index]
+            assert event.fraction == pytest.approx(stage.fraction)
+            assert event.bisection_iterations >= 1
+
+    def test_stage_end_mirrors_run_report(self, trace):
+        sink, report = trace
+        ends = sink.of_kind(StageEnd)
+        assert len(ends) == len(report.stages)
+        for event, stage in zip(ends, report.stages):
+            assert event.stage == stage.index
+            assert event.fraction == pytest.approx(stage.fraction)
+            assert event.duration == pytest.approx(stage.duration)
+            assert event.blocks_read == stage.blocks_read
+            assert event.new_points == stage.new_points
+            assert event.new_outputs == stage.new_outputs
+            assert event.completed_in_time == stage.completed_in_time
+            assert event.aborted_mid_stage == stage.aborted_mid_stage
+            if stage.estimate is not None:
+                assert event.estimate_value == pytest.approx(stage.estimate.value)
+
+    def test_scan_advances_sum_to_stage_blocks(self, trace):
+        sink, report = trace
+        for stage in report.stages:
+            scans = [e for e in sink.of_kind(ScanAdvance) if e.stage == stage.index]
+            assert scans, f"stage {stage.index} drew no scan events"
+            assert sum(e.new_blocks for e in scans) == stage.blocks_read
+
+    def test_operator_advances_cover_new_points(self, trace):
+        sink, report = trace
+        for stage in report.stages:
+            ops = [
+                e for e in sink.of_kind(OperatorAdvance) if e.stage == stage.index
+            ]
+            assert ops, f"stage {stage.index} has no operator events"
+            # One term, one select root: its new_points are the stage's.
+            assert sum(e.new_points for e in ops) == stage.new_points
+            assert sum(e.out_tuples for e in ops) == stage.new_outputs
+
+    def test_selectivity_revisions_per_stage(self, trace):
+        sink, report = trace
+        revisions = sink.of_kind(SelectivityRevision)
+        completed = sum(1 for s in report.stages if not s.aborted_mid_stage)
+        assert len(revisions) == completed
+        assert [e.stage for e in revisions] == list(range(1, completed + 1))
+        assert all(e.operator.startswith("select") for e in revisions)
+
+    def test_jsonl_trace_equals_recorded_trace(self, tmp_path, trace):
+        recording, _ = trace
+        path = str(tmp_path / "run.jsonl")
+        with JsonlSink(path) as sink:
+            traced_run(sink)  # identical seed => identical run
+        replayed = read_jsonl_trace(path)
+        assert [e.to_dict() for e in replayed] == [
+            e.to_dict() for e in recording.events
+        ]
+
+    def test_cost_tracing_is_opt_in_and_accounts_for_elapsed(self):
+        quiet = RecordingSink()
+        traced_run(quiet)
+        assert not quiet.of_kind(CostCharged)
+
+        verbose = RecordingSink()
+        traced_run(verbose, trace_costs=True)
+        charges = verbose.of_kind(CostCharged)
+        assert charges
+        # The simulated clock advances only through charges, so the charge
+        # seconds must account exactly for the run's elapsed time.
+        elapsed = verbose.of_kind(QueryEnd)[0].elapsed_seconds
+        assert sum(e.seconds for e in charges) == pytest.approx(elapsed)
+
+    def test_untraced_run_is_bit_identical_to_traced(self):
+        untraced = traced_run(None)
+        traced = traced_run(RecordingSink())
+        assert untraced.estimate == traced.estimate
+        assert untraced.report.termination == traced.report.termination
+
+
+# ----------------------------------------------------------------------
+# Hard-deadline mid-stage abort (measure_overspend=False)
+# ----------------------------------------------------------------------
+class TestHardAbortTrace:
+    def _interrupted_run(self):
+        """Find a seed whose final stage the armed timer kills mid-flight."""
+        db = Database(
+            profile=MachineProfile.uniform(0.01, noise_sigma=0.3), seed=0
+        )
+        db.create_relation(
+            "r1",
+            [("id", "int"), ("a", "int")],
+            rows=[(i, i % 10) for i in range(200)],
+            block_size=16,
+        )
+        expr = select(rel("r1"), cmp("a", "<", 3))
+        for seed in range(60):
+            sink = RecordingSink()
+            result = db.count_estimate(
+                expr,
+                quota=1.0,
+                seed=seed,
+                sink=sink,
+                strategy=OneAtATimeInterval(d_beta=0.0),
+                stopping=HardDeadline(),
+                measure_overspend=False,
+                cost_model=calibrated_cost_model(0.01),
+            )
+            if result.report.termination == "interrupted":
+                return sink, result
+        pytest.fail("no seed in 0..59 triggered a mid-stage interrupt")
+
+    def test_abort_is_traced_and_estimate_is_last_completed_stage(self):
+        sink, result = self._interrupted_run()
+        report = result.report
+
+        aborts = sink.of_kind(DeadlineAbort)
+        assert len(aborts) == 1
+        assert aborts[0].stage == report.stages[-1].index
+        assert aborts[0].clock >= aborts[0].deadline
+
+        last_end = sink.of_kind(StageEnd)[-1]
+        assert last_end.stage == report.stages[-1].index
+        assert last_end.aborted_mid_stage
+        assert not last_end.completed_in_time
+        assert last_end.estimate_value is None
+        assert sink.of_kind(QueryEnd)[0].termination == "interrupted"
+
+        # The QuotaExpired interrupt was absorbed: the answer is whatever the
+        # last *completed* stage produced (None if stage 1 was killed).
+        assert report.stages[-1].aborted_mid_stage
+        completed = [s for s in report.stages if not s.aborted_mid_stage]
+        if completed:
+            assert result.estimate is not None
+            assert result.estimate.value == pytest.approx(
+                completed[-1].estimate.value
+            )
+        else:
+            assert result.estimate is None
+
+    def test_null_sink_hard_abort_unaffected(self):
+        """The abort path itself must not depend on tracing being on."""
+        db = Database(
+            profile=MachineProfile.uniform(0.01, noise_sigma=0.3), seed=0
+        )
+        db.create_relation(
+            "r1",
+            [("id", "int"), ("a", "int")],
+            rows=[(i, i % 10) for i in range(200)],
+            block_size=16,
+        )
+        expr = select(rel("r1"), cmp("a", "<", 3))
+        terminations = set()
+        for seed in range(60):
+            result = db.count_estimate(
+                expr,
+                quota=1.0,
+                seed=seed,
+                strategy=OneAtATimeInterval(d_beta=0.0),
+                stopping=HardDeadline(),
+                measure_overspend=False,
+                cost_model=calibrated_cost_model(0.01),
+            )
+            terminations.add(result.report.termination)
+        assert "interrupted" in terminations
+
+
+class TestPlanSkipsEventWorkWhenUntraced:
+    def test_null_sink_instance_check(self):
+        assert isinstance(NULL_SINK, NullSink)
+        # Regression guard: the default database path must wire NULL_SINK so
+        # advance_stage's per-node bookkeeping stays disabled.
+        setup = small_selection_setup()
+        session = setup.database.open_session(
+            setup.query, quota=setup.quota, seed=TRACE_SEED
+        )
+        assert isinstance(session.plan.sink, NullSink)
+        assert isinstance(session.executor.sink, NullSink)

@@ -1,0 +1,134 @@
+"""Tests of run_cell's opt-in process parallelism (repro.experiments.runner).
+
+The regression guard the refactor demands: fanning a cell's seed range over
+worker processes must be invisible in the results — same seeds, same order,
+bit-identical estimates and aggregates as the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.experiments.runner import _chunk_seeds, aggregate, run_cell
+from repro.observability import RecordingSink
+from repro.timecontrol.strategies import OneAtATimeInterval
+from repro.workloads.paper import make_selection_setup
+
+RUNS = 20
+SEED0 = 10_000
+
+
+def has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+needs_fork = pytest.mark.skipif(
+    not has_fork(), reason="fork start method unavailable on this platform"
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """A small Figure 5.1 selection cell (fast enough for 3 full sweeps)."""
+    return make_selection_setup(output_tuples=100, tuples=1_000)
+
+
+def strategy_factory():
+    return OneAtATimeInterval(d_beta=24.0)
+
+
+def run_signature(result) -> tuple:
+    """Everything observable about one run, for bit-identity comparison."""
+    report = result.report
+    return (
+        None if report.estimate is None else report.estimate.value,
+        None if report.estimate is None else report.estimate.variance,
+        report.termination,
+        len(report.stages),
+        report.stages_completed_in_time,
+        report.total_blocks,
+        tuple((s.fraction, s.duration, s.blocks_read) for s in report.stages),
+    )
+
+
+class TestChunking:
+    @pytest.mark.parametrize("runs,workers", [(1, 4), (7, 2), (20, 4), (50, 3)])
+    def test_chunks_partition_the_seed_range(self, runs, workers):
+        chunks = _chunk_seeds(runs, SEED0, workers)
+        flattened = [seed for chunk in chunks for seed in chunk]
+        assert flattened == list(range(SEED0, SEED0 + runs))
+        assert all(chunk for chunk in chunks)
+
+    def test_chunk_count_balances_workers(self):
+        chunks = _chunk_seeds(100, 0, 4)
+        assert len(chunks) == 16  # ~4 chunks per worker
+        sizes = {len(c) for c in chunks}
+        assert max(sizes) - min(sizes) <= 1
+
+
+@needs_fork
+class TestParallelMatchesSerial:
+    @pytest.fixture(scope="class")
+    def serial_results(self, setup):
+        return run_cell(setup, strategy_factory, RUNS, seed0=SEED0, workers=0)
+
+    def test_parallel_runs_are_bit_identical(self, setup, serial_results):
+        parallel = run_cell(setup, strategy_factory, RUNS, seed0=SEED0, workers=4)
+        assert len(parallel) == len(serial_results) == RUNS
+        for serial_run, parallel_run in zip(serial_results, parallel):
+            assert run_signature(serial_run) == run_signature(parallel_run)
+
+    def test_parallel_aggregates_are_identical(self, setup, serial_results):
+        parallel = run_cell(setup, strategy_factory, RUNS, seed0=SEED0, workers=4)
+        serial_cell = aggregate("cell", serial_results, setup.exact_count)
+        parallel_cell = aggregate("cell", parallel, setup.exact_count)
+        assert serial_cell == parallel_cell
+
+    def test_worker_count_does_not_matter(self, setup, serial_results):
+        two = run_cell(setup, strategy_factory, RUNS, seed0=SEED0, workers=2)
+        assert [run_signature(r) for r in two] == [
+            run_signature(r) for r in serial_results
+        ]
+
+    def test_single_run_stays_serial(self, setup):
+        serial = run_cell(setup, strategy_factory, 1, seed0=SEED0, workers=0)
+        parallel = run_cell(setup, strategy_factory, 1, seed0=SEED0, workers=4)
+        assert run_signature(serial[0]) == run_signature(parallel[0])
+
+
+class TestParallelGuards:
+    def test_rejects_shared_cost_model(self, setup):
+        from repro.costmodel.model import CostModel
+
+        with pytest.raises(ValueError, match="cost_model"):
+            run_cell(
+                setup,
+                strategy_factory,
+                4,
+                workers=2,
+                cost_model=CostModel(),
+            )
+
+    def test_rejects_trace_sink(self, setup):
+        with pytest.raises(ValueError, match="sink"):
+            run_cell(
+                setup,
+                strategy_factory,
+                4,
+                workers=2,
+                sink=RecordingSink(),
+            )
+
+    def test_serial_mode_accepts_sink(self, setup):
+        sink = RecordingSink()
+        results = run_cell(
+            setup, strategy_factory, 2, seed0=SEED0, workers=0, sink=sink
+        )
+        assert len(results) == 2
+        assert sink.of_kind("query_start")

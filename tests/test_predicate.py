@@ -10,7 +10,6 @@ from repro.errors import ExpressionError, SchemaError
 from repro.relational.predicate import (
     And,
     Comparison,
-    Not,
     Or,
     TruePredicate,
     attr,

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.catalog.schema import Schema
-from repro.catalog.types import AttributeType
 from repro.errors import StorageError
 from repro.storage.block import DiskBlock
 from repro.storage.heapfile import HeapFile

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.relational.evaluator import count_exact
 from repro.workloads.generators import (
     intersection_relations,
     join_relations,
