@@ -1,0 +1,122 @@
+"""Serving-layer overload benchmark — admission control on vs off.
+
+The acceptance experiment for ``repro.server``: one Poisson request stream
+arriving at ≥2× the service capacity (on the simulated clock, so the run is
+deterministic and hardware-independent) is served twice —
+
+* **admission on** — ``RejectInfeasible``: infeasible work is turned away
+  at the door and doomed queued work is shed, so every admitted request
+  still has a budget that covers at least one useful stage;
+* **admission off** — ``AdmitAll``: the uncontrolled baseline burns server
+  time on requests whose budgets evaporated in the queue.
+
+The headline claim: with admission on, the deadline hit-ratio among
+*admitted* requests stays ≥ 0.95, while the uncontrolled baseline measures
+strictly worse. Both arms' metrics land in ``BENCH_server.json`` at the
+repo root (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.server.admission import AdmitAll, RejectInfeasible
+from repro.server.scheduler import QueryServer
+from repro.server.workload import (
+    demo_database,
+    open_loop_requests,
+    selection_mix,
+)
+
+from .conftest import BENCH_RUNS
+
+TUPLES = 2_000
+QUOTA = 2.0
+OVERLOAD = 2.0  # arrival rate = 2x service capacity
+SEED = 7
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+
+def serve_stream(policy) -> QueryServer:
+    """Serve the identical request stream under ``policy``."""
+    database = demo_database(seed=SEED, tuples=TUPLES)
+    server = QueryServer(database, policy=policy)
+    requests = open_loop_requests(
+        count=max(BENCH_RUNS, 40),
+        quota=QUOTA,
+        overload=OVERLOAD,
+        make_query=selection_mix(TUPLES),
+        tuples=TUPLES,
+        seed=SEED,
+    )
+    server.process(requests)
+    return server
+
+
+def useful_throughput(server: QueryServer) -> float:
+    span = server.clock.now()
+    answered = sum(1 for o in server.outcomes if o.answered)
+    return answered / span if span else 0.0
+
+
+def test_admission_control_protects_deadlines_under_overload():
+    on = serve_stream(RejectInfeasible())
+    off = serve_stream(AdmitAll())
+
+    hit_on = on.metrics.hit_ratio_admitted
+    hit_off = off.metrics.hit_ratio_admitted
+
+    report = {
+        "settings": {
+            "requests": max(BENCH_RUNS, 40),
+            "quota_seconds": QUOTA,
+            "overload": OVERLOAD,
+            "tuples": TUPLES,
+            "seed": SEED,
+            "policy_on": RejectInfeasible().describe(),
+            "policy_off": AdmitAll().describe(),
+        },
+        "admission_on": {
+            "metrics": on.metrics.as_dict(),
+            "hit_ratio_admitted": hit_on,
+            "useful_throughput": useful_throughput(on),
+            "simulated_span_seconds": on.clock.now(),
+        },
+        "admission_off": {
+            "metrics": off.metrics.as_dict(),
+            "hit_ratio_admitted": hit_off,
+            "useful_throughput": useful_throughput(off),
+            "simulated_span_seconds": off.clock.now(),
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"overload {OVERLOAD:g}x, {report['settings']['requests']} requests:")
+    on_outcomes = {
+        o.value: n for o, n in on.metrics.outcomes.items() if n
+    }
+    print(
+        f"  admission on : hit-ratio {hit_on:.3f}, "
+        f"{useful_throughput(on):.3f} answers/s, outcomes {on_outcomes}"
+    )
+    print(
+        f"  admission off: hit-ratio {hit_off:.3f}, "
+        f"{useful_throughput(off):.3f} answers/s"
+    )
+    print(f"  report: {REPORT_PATH}")
+
+    # The acceptance bar: admitted requests are protected...
+    assert hit_on is not None and hit_on >= 0.95, (
+        f"admission on must keep >=95% of admitted requests on deadline; "
+        f"measured {hit_on}"
+    )
+    # ...and the uncontrolled baseline is measurably worse.
+    assert hit_off is not None and hit_off < hit_on, (
+        f"AdmitAll baseline should miss deadlines under overload: "
+        f"off {hit_off} vs on {hit_on}"
+    )
+    # Every request ended in a typed outcome in both arms.
+    assert on.metrics.completed == report["settings"]["requests"]
+    assert off.metrics.completed == report["settings"]["requests"]

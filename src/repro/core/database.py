@@ -41,7 +41,7 @@ from repro.storage.heapfile import DEFAULT_BLOCK_SIZE, HeapFile
 from repro.timecontrol.stopping import StoppingCriterion
 from repro.timecontrol.strategies import TimeControlStrategy
 from repro.timekeeping.charger import CostCharger
-from repro.timekeeping.clock import SimulatedClock, WallClock
+from repro.timekeeping.clock import Clock, SimulatedClock, WallClock
 from repro.timekeeping.profile import MachineProfile
 
 _TYPE_NAMES = {
@@ -155,8 +155,12 @@ class Database:
         rng: np.random.Generator,
         sink: TraceSink | None = None,
         trace_costs: bool = False,
+        clock: Clock | None = None,
     ) -> CostCharger:
-        clock = SimulatedClock() if self.clock_kind == "simulated" else WallClock()
+        if clock is None:
+            clock = (
+                SimulatedClock() if self.clock_kind == "simulated" else WallClock()
+            )
         return CostCharger(
             self.profile, clock=clock, rng=rng, sink=sink, trace_costs=trace_costs
         )
@@ -179,6 +183,17 @@ class Database:
         if scale <= 0:
             scale = 1.0  # zero-cost test profiles keep reference priors
         return default_step_specs(prior_scale=scale)
+
+    def default_cost_model(self) -> CostModel:
+        """A fresh adaptive cost model seeded with this machine's priors.
+
+        Each session normally builds its own; a caller that wants one model
+        calibrated *across* runs (e.g. :class:`repro.server.QueryServer`,
+        which prices admission decisions with knowledge accumulated from
+        every query it has executed) creates one here and passes it to
+        :meth:`open_session` via ``cost_model=``.
+        """
+        return CostModel(specs=self._default_specs())
 
     # ------------------------------------------------------------------
     # Exact evaluation
@@ -238,6 +253,7 @@ class Database:
         selectivity_source: str = "runtime",
         sink: TraceSink | None = None,
         trace_costs: bool = False,
+        clock: Clock | None = None,
     ) -> QuerySession:
         """Open a :class:`QuerySession` for one time-constrained run.
 
@@ -247,6 +263,12 @@ class Database:
         independent of each other. ``sink`` receives the run's structured
         trace (see :mod:`repro.observability`); ``trace_costs=True``
         additionally emits one event per primitive cost charge (verbose).
+
+        ``clock`` overrides the session's otherwise-private clock with a
+        caller-owned one, placing several sessions on a single timeline —
+        how :class:`repro.server.QueryServer` multiplexes many deadline-bound
+        queries over one simulated machine. Sessions sharing a clock must be
+        executed serially; nothing else about them is shared.
 
         Call :meth:`QuerySession.run` to execute; or use the
         :meth:`count_estimate` / :meth:`sum_estimate` / :meth:`avg_estimate`
@@ -270,7 +292,7 @@ class Database:
         context = ExecutionContext(
             rng=rng,
             charger=self._make_charger(
-                rng, sink=resolved_sink, trace_costs=trace_costs
+                rng, sink=resolved_sink, trace_costs=trace_costs, clock=clock
             ),
             cost_model=cost_model
             or CostModel(

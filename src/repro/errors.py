@@ -47,6 +47,25 @@ class SamplingExhausted(ReproError):
     """A sampling plan was asked for more units than remain unsampled."""
 
 
+class CellRunError(ReproError):
+    """One run of a ``run_cell`` batch failed.
+
+    Raised in place of the bare exception so a 200-run (possibly
+    multiprocessing) cell names the exact seed and cell that died instead of
+    surfacing an anonymous worker traceback; the original exception is
+    chained as ``__cause__``. Constructed with ``(seed, message)`` so the
+    instance survives the pickling round-trip out of a worker process.
+    """
+
+    def __init__(self, seed: int, message: str) -> None:
+        super().__init__(seed, message)
+        self.seed = seed
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
 class QuotaExpired(Exception):
     """The hard time quota was crossed (the paper's timer interrupt).
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.result import QueryResult
+from repro.errors import CellRunError
 from repro.timecontrol.strategies import TimeControlStrategy
 from repro.workloads.paper import PaperSetup
 
@@ -84,14 +85,30 @@ def _run_one(
     seed: int,
     kwargs: dict,
 ) -> QueryResult:
-    """One independent evaluation — a fresh session for a fresh seed."""
-    return setup.database.count_estimate(
-        setup.query,
-        quota=setup.quota,
-        strategy=strategy_factory(),
-        seed=seed,
-        **kwargs,
-    )
+    """One independent evaluation — a fresh session for a fresh seed.
+
+    A failure is re-raised as :class:`CellRunError` naming the seed and the
+    cell, so a crash deep inside one of 200 runs — possibly inside a forked
+    worker, where the naked traceback would name no seed at all — points
+    straight at the reproducing configuration.
+    """
+    strategy = strategy_factory()
+    try:
+        return setup.database.count_estimate(
+            setup.query,
+            quota=setup.quota,
+            strategy=strategy,
+            seed=seed,
+            **kwargs,
+        )
+    except Exception as exc:
+        raise CellRunError(
+            seed,
+            f"run_cell failed at seed {seed} "
+            f"(query {setup.query}, quota {setup.quota:g}s, "
+            f"strategy {strategy.describe()}): "
+            f"{type(exc).__name__}: {exc}",
+        ) from exc
 
 
 def _run_fork_chunk(seeds: Sequence[int]) -> list[QueryResult]:

@@ -199,6 +199,27 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
 }
 
 
+def register_event_type(cls: type[TraceEvent]) -> type[TraceEvent]:
+    """Register an event class so :func:`event_from_dict` can rebuild it.
+
+    Subsystems outside the core run loop (e.g. :mod:`repro.server`) define
+    their own typed events and register them here, keeping JSONL traces
+    round-trippable no matter which layer emitted a line. Usable as a class
+    decorator. Re-registering the same class is a no-op; a *different* class
+    claiming an existing kind is an error.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, TraceEvent)):
+        raise TypeError(f"not a TraceEvent subclass: {cls!r}")
+    existing = _EVENT_TYPES.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"trace event kind {cls.kind!r} already registered "
+            f"by {existing.__name__}"
+        )
+    _EVENT_TYPES[cls.kind] = cls
+    return cls
+
+
 def event_from_dict(payload: dict) -> TraceEvent:
     """Rebuild a typed event from its :meth:`TraceEvent.to_dict` form."""
     data = dict(payload)

@@ -1,5 +1,12 @@
-"""Transaction-level deadline budgeting (the paper's [AbMo 88] use case)."""
+"""Transaction-level deadline budgeting (the paper's [AbMo 88] use case).
 
+:func:`run_transaction` routes a transaction through the
+:mod:`repro.server` serving layer — same allocators, same deadline, but
+every query flows through admission control and the server metrics — so
+the two quota layers share one execution path and cannot drift apart.
+"""
+
+from repro.realtime.adapter import run_transaction
 from repro.realtime.transaction import (
     FeedbackAllocator,
     ProportionalAllocator,
@@ -16,4 +23,5 @@ __all__ = [
     "QuotaAllocator",
     "TransactionResult",
     "TransactionScheduler",
+    "run_transaction",
 ]

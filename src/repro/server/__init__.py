@@ -1,0 +1,75 @@
+"""repro.server — deadline-aware admission control and scheduling.
+
+The serving layer over :class:`~repro.core.database.Database`: many
+clients, one machine, every request carrying its own time quota. See
+:mod:`repro.server.scheduler` for the model and ``docs/architecture.md``
+("Serving layer") for the request lifecycle.
+
+Quickstart::
+
+    from repro.server import QueryServer, QueryRequest, open_loop_requests
+    from repro.server.workload import demo_database
+
+    db = demo_database(seed=7)
+    server = QueryServer(db)
+    outcomes = server.process(open_loop_requests(
+        count=50, quota=2.0, overload=2.0, seed=7))
+    print(server.metrics.render())
+
+Or from a shell: ``python -m repro.server --demo``.
+"""
+
+from repro.server.admission import (
+    AdmissionAction,
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmitAll,
+    DegradeInfeasible,
+    FeasibilityReport,
+    RejectInfeasible,
+    minimum_stage_cost,
+)
+from repro.server.degrade import degraded_estimate
+from repro.server.events import (
+    AdmissionDecided,
+    RequestArrived,
+    RequestCompleted,
+    RequestStarted,
+)
+from repro.server.metrics import BucketHistogram, ServerMetrics
+from repro.server.request import Outcome, QueryRequest, RequestOutcome
+from repro.server.scheduler import QueryServer
+from repro.server.workload import (
+    ClosedLoopClient,
+    demo_database,
+    open_loop_requests,
+    run_closed_loop,
+    selection_mix,
+)
+
+__all__ = [
+    "AdmissionAction",
+    "AdmissionDecided",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "BucketHistogram",
+    "ClosedLoopClient",
+    "DegradeInfeasible",
+    "FeasibilityReport",
+    "Outcome",
+    "QueryRequest",
+    "QueryServer",
+    "RejectInfeasible",
+    "RequestArrived",
+    "RequestCompleted",
+    "RequestOutcome",
+    "RequestStarted",
+    "ServerMetrics",
+    "degraded_estimate",
+    "demo_database",
+    "minimum_stage_cost",
+    "open_loop_requests",
+    "run_closed_loop",
+    "selection_mix",
+]

@@ -1,0 +1,198 @@
+"""Admission control — is this request feasible inside its quota?
+
+The test is the paper's own machinery pointed at a new question. For one
+query, Figure 3.4 bisection asks "what fraction fits the remaining time?";
+for a *stream* of queries, the server asks the inverse: "does the smallest
+possible useful stage fit the time this request will have left once it
+reaches the head of the queue?" Both are priced by the same calibrated
+adaptive cost model (Section 4), so admission gets sharper as the server
+executes queries and the model refits its coefficients.
+
+:func:`minimum_stage_cost` prices the cheapest non-trivial stage — stage
+overhead plus ``QCOST`` at the smallest fraction that draws one new block —
+using the plan's initial selectivities (prestored hints when available,
+Figure 3.3's maximum otherwise). A request whose projected budget at
+dispatch cannot cover even that is infeasible: running it would burn server
+time to return nothing.
+
+What to *do* with an infeasible request is policy:
+
+* :class:`RejectInfeasible` — turn it away at arrival (the client can retry
+  with a bigger quota);
+* :class:`DegradeInfeasible` — answer it instantly from prestored
+  statistics with a wide confidence interval (:mod:`repro.server.degrade`);
+* :class:`AdmitAll` — no admission control at all: every request is queued
+  and dispatched regardless of feasibility. This is the measured baseline
+  the overload benchmark compares against, not a recommended mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.session import QuerySession
+from repro.costmodel import steps as step_names
+from repro.server.request import QueryRequest
+
+
+class AdmissionAction(enum.Enum):
+    """What the policy decided to do with an arriving request."""
+
+    ADMIT = "admit"
+    DEGRADE = "degrade"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """The numbers an admission policy rules on.
+
+    ``budget_now`` is the time between now and the request's absolute
+    deadline; ``projected_wait`` is the expected queue delay in front of it
+    (work with earlier effective deadlines); their difference is the budget
+    the request will actually have when dispatched, to be compared against
+    ``min_stage_cost`` — the cost-model price of the cheapest useful stage.
+    """
+
+    min_stage_cost: float
+    projected_wait: float
+    budget_now: float
+
+    @property
+    def budget_at_start(self) -> float:
+        return self.budget_now - self.projected_wait
+
+    def feasible(self, safety_margin: float = 1.0) -> bool:
+        """Can the request afford at least one stage, with margin to spare?"""
+        return self.budget_at_start >= safety_margin * self.min_stage_cost
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The policy's ruling plus the reason handed back to the client."""
+
+    action: AdmissionAction
+    reason: str
+
+
+def _initial_sel_provider(tracker, new_points, space_points):
+    """Initial/running mean selectivity — no risk inflation for pricing."""
+    if tracker.stages_observed == 0:
+        return tracker.initial
+    return tracker.effective_sel_prev()
+
+
+def minimum_stage_cost(session: QuerySession) -> float:
+    """Price of the cheapest useful stage of ``session``'s plan (seconds).
+
+    Stage overhead plus ``QCOST`` at the minimum feasible fraction (one new
+    block on the smallest relation), under the plan's initial selectivities.
+    Evaluated on a probe session that is never run, so pricing charges
+    nothing to any clock.
+    """
+    plan = session.plan
+    overhead = plan.cost_model.predict(step_names.STAGE_OVERHEAD, [1.0])
+    fraction = plan.min_feasible_fraction()
+    if fraction <= 0:  # nothing left to sample — only overhead remains
+        return overhead
+    return overhead + plan.predict_stage(fraction, _initial_sel_provider)
+
+
+class AdmissionPolicy:
+    """Base policy: rule on a request given its feasibility report.
+
+    ``enforce_at_dispatch`` additionally applies the feasibility floor when
+    the request reaches the head of the queue (budgets shrink while
+    waiting); policies that model "no admission control" turn it off so the
+    scheduler faithfully burns time on doomed work, as an uncontrolled
+    server would.
+    """
+
+    enforce_at_dispatch: bool = True
+
+    def decide(
+        self, request: QueryRequest, feasibility: FeasibilityReport
+    ) -> AdmissionDecision:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class RejectInfeasible(AdmissionPolicy):
+    """Admit feasible requests; reject the rest at the door.
+
+    ``safety_margin`` scales the feasibility floor: the budget at projected
+    dispatch must cover ``safety_margin ×`` the minimum stage cost. Values
+    above 1 absorb cost-model optimism and execution jitter at the price of
+    rejecting marginal requests.
+    """
+
+    safety_margin: float = 1.5
+
+    def decide(
+        self, request: QueryRequest, feasibility: FeasibilityReport
+    ) -> AdmissionDecision:
+        if feasibility.feasible(self.safety_margin):
+            return AdmissionDecision(
+                AdmissionAction.ADMIT,
+                f"budget {feasibility.budget_at_start:.3f}s covers "
+                f"minimum stage {feasibility.min_stage_cost:.3f}s",
+            )
+        return AdmissionDecision(
+            AdmissionAction.REJECT,
+            f"infeasible: budget at dispatch "
+            f"{feasibility.budget_at_start:.3f}s < "
+            f"{self.safety_margin:g}× minimum stage cost "
+            f"{feasibility.min_stage_cost:.3f}s",
+        )
+
+    def describe(self) -> str:
+        return f"RejectInfeasible(margin={self.safety_margin:g})"
+
+
+@dataclass
+class DegradeInfeasible(AdmissionPolicy):
+    """Admit feasible requests; answer the rest from prestored statistics.
+
+    The zero-sampling fallback (:mod:`repro.server.degrade`) returns a wide
+    confidence interval instantly instead of failing — the serving-layer
+    analogue of the paper's observation that prestored selectivities suit
+    fixed query mixes: they are free at run time. Requests the statistics
+    cannot cover are rejected with that reason.
+    """
+
+    safety_margin: float = 1.5
+
+    def decide(
+        self, request: QueryRequest, feasibility: FeasibilityReport
+    ) -> AdmissionDecision:
+        if feasibility.feasible(self.safety_margin):
+            return AdmissionDecision(
+                AdmissionAction.ADMIT,
+                f"budget {feasibility.budget_at_start:.3f}s covers "
+                f"minimum stage {feasibility.min_stage_cost:.3f}s",
+            )
+        return AdmissionDecision(
+            AdmissionAction.DEGRADE,
+            f"infeasible within quota {request.quota:g}s; answering from "
+            "prestored statistics",
+        )
+
+    def describe(self) -> str:
+        return f"DegradeInfeasible(margin={self.safety_margin:g})"
+
+
+class AdmitAll(AdmissionPolicy):
+    """No admission control — the overload benchmark's 'off' arm."""
+
+    enforce_at_dispatch = False
+
+    def decide(
+        self, request: QueryRequest, feasibility: FeasibilityReport
+    ) -> AdmissionDecision:
+        return AdmissionDecision(
+            AdmissionAction.ADMIT, "admission control disabled"
+        )

@@ -1,0 +1,96 @@
+"""Zero-sampling degraded answers from prestored statistics.
+
+When a request cannot afford even one sampling stage, the server can still
+answer it *instantly* instead of failing: the prestored-selectivity
+machinery (:mod:`repro.statistics.prestored` — Figure 3.2's "prestored"
+implementation decision) prices the query's output fraction from analyzed
+histograms, and multiplying by the point-space size gives a COUNT guess
+with zero I/O inside the quota. The price of paying nothing is precision:
+the answer carries a deliberately wide confidence interval
+(``relative_halfwidth`` of the estimate, 100% by default) so downstream
+consumers cannot mistake it for a sampled estimate.
+
+SUM adds the histogram attribute mean (``COUNT × mean``); AVG is the mean
+itself. Queries the statistics cannot cover — un-analyzed relations,
+intersections, attribute-to-attribute predicates — return ``None`` and the
+policy falls back to rejection, with that stated as the reason.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.database import Database
+from repro.estimation.aggregates import COUNT, AggregateSpec
+from repro.estimation.estimate import Estimate, normal_quantile
+from repro.relational.expression import Expression
+from repro.statistics.prestored import SelectivityHinter
+
+DEGRADED_RELATIVE_HALFWIDTH = 1.0
+"""Default relative 95% CI half-width attached to degraded answers."""
+
+
+def _point_space(database: Database, expr: Expression) -> int:
+    """Cross-product cardinality of the expression's base relations."""
+    return math.prod(
+        database.catalog.get(name).tuple_count
+        for name in expr.base_relations()
+    )
+
+
+def _attribute_mean(
+    database: Database, expr: Expression, attribute: str
+) -> float | None:
+    """Histogram mean of ``attribute``, resolvable only over one relation."""
+    bases = set(expr.base_relations())
+    carriers = [
+        name
+        for name in bases
+        if name in database.statistics
+        and database.statistics[name].has(attribute)
+    ]
+    if len(carriers) != 1:
+        return None
+    return database.statistics[carriers[0]].histogram(attribute).mean()
+
+
+def degraded_estimate(
+    database: Database,
+    expr: Expression,
+    aggregate: AggregateSpec = COUNT,
+    relative_halfwidth: float = DEGRADED_RELATIVE_HALFWIDTH,
+    confidence: float = 0.95,
+) -> Estimate | None:
+    """A zero-sampling estimate of ``aggregate`` over ``expr``, or ``None``.
+
+    Requires :meth:`Database.analyze` to have been run on the involved
+    relations. The returned estimate's variance is sized so that its
+    ``confidence``-level interval half-width equals ``relative_halfwidth``
+    of the value — wide by construction, honest about knowing little.
+    """
+    hinter = SelectivityHinter(database.statistics, database.catalog)
+    missing = [
+        name
+        for name in set(expr.base_relations())
+        if name not in database.statistics
+    ]
+    if missing:
+        return None
+    hint = hinter.hint(expr)
+    if hint is None:
+        return None
+    count = hint * _point_space(database, expr)
+
+    if aggregate.kind == "count":
+        value = count
+    else:
+        mean = _attribute_mean(database, expr, aggregate.attribute)
+        if mean is None:
+            return None
+        value = count * mean if aggregate.kind == "sum" else mean
+
+    z = normal_quantile(0.5 + confidence / 2.0)
+    # Half-width relative to the value; a floor of 1.0 keeps zero-valued
+    # answers from claiming a zero-width (i.e. exact) interval.
+    halfwidth = relative_halfwidth * max(abs(value), 1.0)
+    return Estimate(value=value, variance=(halfwidth / z) ** 2)

@@ -1,0 +1,554 @@
+"""The deadline-aware query server: admit → queue → run → outcome.
+
+:class:`QueryServer` multiplexes many clients' deadline-bearing aggregate
+queries over one :class:`~repro.core.database.Database` — the serving layer
+the paper motivates in Section 1: once each query's execution time is
+pinned to its quota, transaction completion times become predictable and a
+scheduler can enforce deadlines across a whole request stream.
+
+The model is a single-server queue on the database's simulated clock:
+
+* **Arrival.** Each request's absolute deadline is fixed at
+  ``arrival + quota``. The admission controller prices the cheapest useful
+  stage with the server's *shared, continuously calibrated* cost model
+  (:func:`~repro.server.admission.minimum_stage_cost`) and projects the
+  queue wait in front of the request; the pluggable policy then admits,
+  degrades (zero-sampling prestored answer), or rejects.
+* **Queueing.** The run queue is earliest-deadline-first within priority
+  tiers. Queue wait is charged against each request's budget simply by the
+  clock moving: budgets are measured from the absolute deadline, so a
+  request that waits has less time to sample — exactly the paper's
+  time-quota semantics applied at the queue.
+* **Overload shedding.** Before each dispatch the queue is walked in EDF
+  order accumulating planned spend; requests whose projected budget cannot
+  cover their minimum stage are shed — necessarily the latest-deadline
+  work, which under EDF overload is the right work to drop.
+* **Execution.** The winner runs in a fresh
+  :class:`~repro.core.session.QuerySession` under ``HardDeadline`` with
+  live mid-stage interrupt semantics (``measure_overspend=False``), on the
+  shared clock and shared cost model. The answer is whatever the last
+  completed stage estimated.
+
+The server *never* raises to the submitting client and never drops a
+request silently: every request ends in exactly one typed
+:class:`~repro.server.request.RequestOutcome`, and every decision is
+emitted as a trace event (:mod:`repro.server.events`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.database import Database
+from repro.costmodel.model import CostModel
+from repro.observability.trace import NULL_SINK, TeeSink, TraceSink
+from repro.server.admission import (
+    AdmissionAction,
+    AdmissionPolicy,
+    FeasibilityReport,
+    RejectInfeasible,
+    minimum_stage_cost,
+)
+from repro.server.degrade import degraded_estimate
+from repro.server.events import (
+    AdmissionDecided,
+    RequestArrived,
+    RequestCompleted,
+    RequestStarted,
+)
+from repro.server.metrics import ServerMetrics
+from repro.server.request import Outcome, QueryRequest, RequestOutcome
+from repro.timecontrol.stopping import HardDeadline
+from repro.timecontrol.strategies import (
+    OneAtATimeInterval,
+    TimeControlStrategy,
+)
+from repro.timekeeping.clock import SimulatedClock
+
+OnComplete = Callable[[RequestOutcome], "QueryRequest | None"]
+
+
+@dataclass(order=True)
+class _Ticket:
+    """One admitted request waiting in the run queue (heap-ordered)."""
+
+    priority: int
+    deadline: float
+    seq: int
+    request: QueryRequest = None  # type: ignore[assignment]
+    arrival: float = 0.0
+    min_cost: float = 0.0
+
+    def planned_spend(self, now: float) -> float:
+        """How long this ticket will occupy the server once dispatched.
+
+        A time-constrained query consumes its remaining budget (that is the
+        point of the paper), so the planned spend is the time between now
+        and its deadline, capped at the offered quota.
+        """
+        return min(max(self.deadline - now, 0.0), self.request.quota)
+
+
+class QueryServer:
+    """Serves a stream of time-constrained queries over one database.
+
+    Parameters
+    ----------
+    database:
+        The database all requests run against. Must use simulated clocks
+        (the server owns the timeline).
+    policy:
+        Admission policy (default :class:`RejectInfeasible`). Use
+        :class:`~repro.server.admission.DegradeInfeasible` after
+        :meth:`Database.analyze` for graceful degradation, or
+        :class:`~repro.server.admission.AdmitAll` to switch admission
+        control off (the benchmark baseline).
+    strategy_factory:
+        Builds the per-session time-control strategy (default
+        One-at-a-Time-Interval with the prototype's ``d_β = 24``).
+    sink:
+        Optional extra trace sink tee'd next to the built-in
+        :class:`~repro.server.metrics.ServerMetrics`.
+    trace_queries:
+        Thread the server sink into each session too, interleaving
+        per-stage query events with scheduling events on one stream.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        policy: AdmissionPolicy | None = None,
+        strategy_factory: Callable[[], TimeControlStrategy] | None = None,
+        sink: TraceSink | None = None,
+        share_cost_model: bool = True,
+        trace_queries: bool = False,
+        session_kwargs: dict | None = None,
+    ) -> None:
+        if database.clock_kind != "simulated":
+            raise ValueError(
+                "QueryServer schedules on the simulated clock; "
+                "construct the Database with clock='simulated'"
+            )
+        self.database = database
+        self.policy = policy if policy is not None else RejectInfeasible()
+        self.strategy_factory = strategy_factory or (
+            lambda: OneAtATimeInterval(d_beta=24.0)
+        )
+        self.clock = SimulatedClock()
+        self.metrics = ServerMetrics()
+        self.sink: TraceSink = (
+            TeeSink([self.metrics, sink]) if sink is not None else self.metrics
+        )
+        self._cost_model: CostModel | None = (
+            database.default_cost_model() if share_cost_model else None
+        )
+        self.trace_queries = trace_queries
+        self.session_kwargs = dict(session_kwargs or {})
+        self._seq = itertools.count()
+        self.outcomes: list[RequestOutcome] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        requests: Iterable[QueryRequest],
+        on_complete: OnComplete | None = None,
+    ) -> list[RequestOutcome]:
+        """Serve ``requests`` (sorted by arrival) until the system drains.
+
+        ``on_complete`` implements closed-loop clients: called with each
+        terminal outcome, it may return a follow-up request (arrival no
+        earlier than the current clock) to feed back into the stream.
+        Returns this call's outcomes in decision order; they are also
+        appended to :attr:`outcomes`.
+        """
+        arrivals: list[QueryRequest] = sorted(
+            requests, key=lambda r: (r.arrival, r.priority)
+        )
+        queue: list[_Ticket] = []
+        produced: list[RequestOutcome] = []
+
+        def finish(outcome: RequestOutcome) -> None:
+            produced.append(outcome)
+            self.outcomes.append(outcome)
+            if on_complete is not None:
+                follow = on_complete(outcome)
+                if follow is not None:
+                    self._insert_arrival(arrivals, follow)
+
+        while arrivals or queue:
+            if not queue and arrivals:
+                # Idle server: sleep until the next arrival.
+                self.clock.advance_to(arrivals[0].arrival)
+            now = self.clock.now()
+            while arrivals and arrivals[0].arrival <= now:
+                self._on_arrival(arrivals.pop(0), queue, finish)
+            if not queue:
+                continue
+            for shed in self._shed_overload(queue):
+                finish(shed)
+            if not queue:
+                continue
+            ticket = heapq.heappop(queue)
+            finish(self._dispatch(ticket))
+        return produced
+
+    def serve(self, request: QueryRequest) -> RequestOutcome:
+        """Serve one request immediately (arrival = now); returns its outcome."""
+        if request.arrival < self.clock.now():
+            request = QueryRequest(
+                expr=request.expr,
+                quota=request.quota,
+                client_id=request.client_id,
+                aggregate=request.aggregate,
+                priority=request.priority,
+                arrival=self.clock.now(),
+                seed=request.seed,
+                request_id=request.request_id,
+            )
+        return self.process([request])[0]
+
+    # ------------------------------------------------------------------
+    # Arrival and admission
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _insert_arrival(
+        arrivals: list[QueryRequest], request: QueryRequest
+    ) -> None:
+        index = len(arrivals)
+        for i, pending in enumerate(arrivals):
+            if (pending.arrival, pending.priority) > (
+                request.arrival,
+                request.priority,
+            ):
+                index = i
+                break
+        arrivals.insert(index, request)
+
+    def _minimum_cost(self, request: QueryRequest) -> float:
+        """Price the cheapest useful stage with the calibrated cost model.
+
+        The probe session is never run: construction charges nothing, so
+        pricing is free on the server timeline. A fixed probe seed keeps
+        the database's master seed sequence untouched (probe RNG streams
+        are never drawn from).
+        """
+        probe = self.database.open_session(
+            request.expr,
+            quota=request.quota,
+            aggregate=request.aggregate,
+            cost_model=self._cost_model,
+            seed=0,
+            clock=self.clock,
+            **self.session_kwargs,
+        )
+        return minimum_stage_cost(probe)
+
+    def _on_arrival(
+        self,
+        request: QueryRequest,
+        queue: list[_Ticket],
+        finish: Callable[[RequestOutcome], None],
+    ) -> None:
+        now = self.clock.now()
+        deadline = request.deadline
+        self.sink.emit(
+            RequestArrived(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                quota=request.quota,
+                deadline=deadline,
+                priority=request.priority,
+                clock=now,
+            )
+        )
+        try:
+            min_cost = self._minimum_cost(request)
+        except Exception as exc:
+            # A query the engine cannot even plan gets a typed rejection.
+            self._decide_event(request, "reject", f"unplannable: {exc}", 0, 0, 0)
+            finish(
+                self._finish_unrun(
+                    request,
+                    Outcome.REJECTED,
+                    f"query cannot be planned: {exc}",
+                    queue_wait=0.0,
+                )
+            )
+            return
+        projected_wait = self._projected_wait(request, deadline, queue, now)
+        feasibility = FeasibilityReport(
+            min_stage_cost=min_cost,
+            projected_wait=projected_wait,
+            budget_now=deadline - now,
+        )
+        decision = self.policy.decide(request, feasibility)
+        self._decide_event(
+            request,
+            decision.action.value,
+            decision.reason,
+            min_cost,
+            projected_wait,
+            feasibility.budget_at_start,
+        )
+        if decision.action is AdmissionAction.ADMIT:
+            heapq.heappush(
+                queue,
+                _Ticket(
+                    priority=request.priority,
+                    deadline=deadline,
+                    seq=next(self._seq),
+                    request=request,
+                    arrival=request.arrival,
+                    min_cost=min_cost,
+                ),
+            )
+            return
+        if decision.action is AdmissionAction.DEGRADE:
+            finish(self._degrade(request, decision.reason))
+            return
+        finish(
+            self._finish_unrun(
+                request, Outcome.REJECTED, decision.reason, queue_wait=0.0
+            )
+        )
+
+    def _projected_wait(
+        self,
+        request: QueryRequest,
+        deadline: float,
+        queue: Sequence[_Ticket],
+        now: float,
+    ) -> float:
+        """Expected queue delay: planned spend of work dispatched first."""
+        key = (request.priority, deadline)
+        return sum(
+            ticket.planned_spend(now)
+            for ticket in queue
+            if (ticket.priority, ticket.deadline) <= key
+        )
+
+    def _decide_event(
+        self,
+        request: QueryRequest,
+        action: str,
+        reason: str,
+        min_cost: float,
+        projected_wait: float,
+        budget_at_start: float,
+    ) -> None:
+        self.sink.emit(
+            AdmissionDecided(
+                request_id=request.request_id,
+                action=action,
+                reason=reason,
+                min_stage_cost=min_cost,
+                projected_wait=projected_wait,
+                budget_at_start=budget_at_start,
+                clock=self.clock.now(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded answers
+    # ------------------------------------------------------------------
+    def _degrade(self, request: QueryRequest, reason: str) -> RequestOutcome:
+        now = self.clock.now()
+        estimate = degraded_estimate(
+            self.database, request.expr, aggregate=request.aggregate
+        )
+        if estimate is None:
+            return self._finish_unrun(
+                request,
+                Outcome.REJECTED,
+                reason
+                + " — but no prestored statistics cover this query "
+                "(run Database.analyze()); rejected instead",
+                queue_wait=now - request.arrival,
+            )
+        outcome = RequestOutcome(
+            request=request,
+            outcome=Outcome.DEGRADED,
+            reason=reason,
+            admitted=False,
+            queue_wait=now - request.arrival,
+            started_at=now,
+            finished_at=now,
+            estimate=estimate,
+        )
+        self._completed_event(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Overload shedding
+    # ------------------------------------------------------------------
+    def _shed_overload(self, queue: list[_Ticket]) -> list[RequestOutcome]:
+        """Shed queued work that can no longer get a useful budget.
+
+        Walk the queue in dispatch (EDF) order accumulating planned spend;
+        a ticket whose projected budget at its turn is below its minimum
+        stage cost would reach the server only to return nothing — it is
+        shed now, freeing its spend for the rest. Later-deadline work is
+        the work that fails this test first, so overload sheds from the
+        tail, as a real-time scheduler should. Only policies that enforce
+        feasibility shed; :class:`AdmitAll` keeps the doomed work queued.
+        """
+        if not self.policy.enforce_at_dispatch or not queue:
+            return []
+        now = self.clock.now()
+        shed: list[RequestOutcome] = []
+        keep: list[_Ticket] = []
+        projected = now
+        for ticket in sorted(queue):
+            budget_at_turn = ticket.deadline - projected
+            if budget_at_turn < ticket.min_cost:
+                shed.append(
+                    self._finish_unrun(
+                        ticket.request,
+                        Outcome.SHED,
+                        "overload: projected budget "
+                        f"{budget_at_turn:.3f}s at dispatch < minimum stage "
+                        f"cost {ticket.min_cost:.3f}s",
+                        queue_wait=now - ticket.arrival,
+                        admitted=True,
+                    )
+                )
+            else:
+                keep.append(ticket)
+                projected += ticket.planned_spend(projected)
+        if shed:
+            queue[:] = keep
+            heapq.heapify(queue)
+        return shed
+
+    # ------------------------------------------------------------------
+    # Dispatch and execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, ticket: _Ticket) -> RequestOutcome:
+        request = ticket.request
+        now = self.clock.now()
+        queue_wait = now - ticket.arrival
+        budget = ticket.deadline - now
+        if budget <= 0 or (
+            self.policy.enforce_at_dispatch and budget < ticket.min_cost
+        ):
+            outcome = (
+                Outcome.SHED
+                if self.policy.enforce_at_dispatch
+                else Outcome.MISSED
+            )
+            return self._finish_unrun(
+                request,
+                outcome,
+                f"budget exhausted in queue: {budget:.3f}s left of "
+                f"{request.quota:g}s quota after {queue_wait:.3f}s wait",
+                queue_wait=queue_wait,
+                admitted=True,
+            )
+        self.sink.emit(
+            RequestStarted(
+                request_id=request.request_id,
+                queue_wait=queue_wait,
+                budget=budget,
+                clock=now,
+            )
+        )
+        result = None
+        failure: str | None = None
+        try:
+            session = self.database.open_session(
+                request.expr,
+                quota=budget,
+                strategy=self.strategy_factory(),
+                stopping=HardDeadline(),
+                measure_overspend=False,
+                aggregate=request.aggregate,
+                cost_model=self._cost_model,
+                seed=request.seed,
+                clock=self.clock,
+                sink=self.sink if self.trace_queries else None,
+                **self.session_kwargs,
+            )
+            result = session.run()
+        except Exception as exc:  # the scheduler never raises to the caller
+            failure = f"{type(exc).__name__}: {exc}"
+        finished = self.clock.now()
+        if failure is not None:
+            outcome = RequestOutcome(
+                request=request,
+                outcome=Outcome.MISSED,
+                reason=f"execution failed: {failure}",
+                admitted=True,
+                queue_wait=queue_wait,
+                started_at=now,
+                finished_at=finished,
+            )
+        elif result.estimate is None:
+            outcome = RequestOutcome(
+                request=request,
+                outcome=Outcome.MISSED,
+                reason=(
+                    "no stage completed within the remaining budget "
+                    f"({budget:.3f}s; termination: {result.termination})"
+                ),
+                admitted=True,
+                queue_wait=queue_wait,
+                started_at=now,
+                finished_at=finished,
+                result=result,
+            )
+        else:
+            outcome = RequestOutcome(
+                request=request,
+                outcome=Outcome.ANSWERED,
+                reason=(
+                    f"{result.stages} stages, {result.blocks} blocks within "
+                    f"budget {budget:.3f}s (termination: {result.termination})"
+                ),
+                admitted=True,
+                queue_wait=queue_wait,
+                started_at=now,
+                finished_at=finished,
+                result=result,
+            )
+        self._completed_event(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Terminal bookkeeping
+    # ------------------------------------------------------------------
+    def _finish_unrun(
+        self,
+        request: QueryRequest,
+        outcome: Outcome,
+        reason: str,
+        queue_wait: float,
+        admitted: bool = False,
+    ) -> RequestOutcome:
+        terminal = RequestOutcome(
+            request=request,
+            outcome=outcome,
+            reason=reason,
+            admitted=admitted,
+            queue_wait=queue_wait,
+            finished_at=self.clock.now() if admitted else None,
+        )
+        self._completed_event(terminal)
+        return terminal
+
+    def _completed_event(self, outcome: RequestOutcome) -> None:
+        self.sink.emit(
+            RequestCompleted(
+                request_id=outcome.request.request_id,
+                outcome=outcome.outcome.value,
+                reason=outcome.reason,
+                queue_wait=outcome.queue_wait,
+                lateness=outcome.lateness,
+                relative_ci_halfwidth=outcome.relative_ci_halfwidth,
+                clock=self.clock.now(),
+            )
+        )

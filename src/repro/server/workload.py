@@ -1,0 +1,167 @@
+"""Workload drivers — request streams over the paper's relations.
+
+Two classic arrival disciplines feed :class:`~repro.server.QueryServer`:
+
+* **Open loop** (:func:`open_loop_requests`): a Poisson process of
+  independent requests. Arrival rate is set relative to the server's
+  service capacity, so ``overload=2.0`` means work arrives twice as fast
+  as it can be served — the regime where admission control earns its keep.
+* **Closed loop** (:func:`run_closed_loop`): ``N`` clients that each wait
+  for their previous answer, think, and submit again — the multiuser
+  database shape from the paper's Section 1 motivation.
+
+Queries are drawn from a mix over the paper's Section 5 relations (scaled
+down): selections with randomized thresholds by default, with optional
+intersection heavy-hitters stirred in to vary per-request cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.relational.expression import Expression, intersect, rel, select
+from repro.relational.predicate import cmp
+from repro.server.request import QueryRequest
+from repro.server.scheduler import QueryServer
+from repro.workloads.generators import (
+    intersection_relations,
+    paper_schema,
+)
+
+QueryFactory = Callable[[np.random.Generator], Expression]
+
+
+def demo_database(
+    seed: int = 0,
+    tuples: int = 2_000,
+    analyze: bool = True,
+) -> Database:
+    """A serving-layer database: two paper-style relations, analyzed.
+
+    ``r1`` and ``r2`` share ``tuples // 2`` common tuples (so intersections
+    have non-trivial answers); :meth:`Database.analyze` is run so degraded
+    answers and prestored hints are available out of the box.
+    """
+    db = Database(seed=seed)
+    rng = np.random.default_rng(seed)
+    r1, r2 = intersection_relations(
+        rng, tuples=tuples, common_tuples=tuples // 2
+    )
+    db.create_relation("r1", paper_schema(), r1)
+    db.create_relation("r2", paper_schema(), r2)
+    if analyze:
+        db.analyze()
+    return db
+
+
+def selection_mix(
+    tuples: int = 2_000, intersect_fraction: float = 0.0
+) -> QueryFactory:
+    """Random-threshold selections over ``r1``, optionally mixed with
+    ``r1 ∩ r2`` heavy requests (``intersect_fraction`` of draws)."""
+
+    def make(rng: np.random.Generator) -> Expression:
+        if intersect_fraction > 0 and rng.random() < intersect_fraction:
+            return intersect(rel("r1"), rel("r2"))
+        threshold = int(rng.integers(tuples // 10, tuples))
+        return select(rel("r1"), cmp("a", "<", threshold))
+
+    return make
+
+
+def open_loop_requests(
+    count: int,
+    quota: float,
+    overload: float = 1.0,
+    make_query: QueryFactory | None = None,
+    tuples: int = 2_000,
+    seed: int = 0,
+    client_id: str = "open",
+    priority: int = 0,
+) -> list[QueryRequest]:
+    """A Poisson arrival stream of ``count`` requests.
+
+    Service capacity is one request per ``quota`` seconds (a
+    time-constrained query consumes its budget), so the mean interarrival
+    is ``quota / overload``: ``overload > 1`` queues work faster than the
+    server drains it.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive: {count}")
+    if overload <= 0:
+        raise ValueError(f"overload must be positive: {overload}")
+    rng = np.random.default_rng(seed)
+    make = make_query if make_query is not None else selection_mix(tuples)
+    mean_interarrival = quota / overload
+    clock = 0.0
+    requests = []
+    for index in range(count):
+        clock += float(rng.exponential(mean_interarrival))
+        requests.append(
+            QueryRequest(
+                expr=make(rng),
+                quota=quota,
+                client_id=client_id,
+                priority=priority,
+                arrival=clock,
+                seed=int(rng.integers(0, 2**31)),
+            )
+        )
+    return requests
+
+
+@dataclass
+class ClosedLoopClient:
+    """One think-submit-wait client of the closed-loop driver."""
+
+    client_id: str
+    quota: float
+    think_time: float
+    make_query: QueryFactory
+    requests_left: int
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def next_request(self, not_before: float) -> QueryRequest | None:
+        if self.requests_left <= 0:
+            return None
+        self.requests_left -= 1
+        return QueryRequest(
+            expr=self.make_query(self.rng),
+            quota=self.quota,
+            client_id=self.client_id,
+            arrival=not_before + self.think_time,
+            seed=int(self.rng.integers(0, 2**31)),
+        )
+
+
+def run_closed_loop(
+    server: QueryServer,
+    clients: Sequence[ClosedLoopClient],
+) -> list:
+    """Drive ``server`` with closed-loop clients until all are done.
+
+    Each client keeps exactly one request in flight: its next submission
+    happens ``think_time`` after its previous outcome, whatever that
+    outcome was (rejected clients re-think and retry with a fresh query,
+    modelling an interactive analyst).
+    """
+    by_id = {client.client_id: client for client in clients}
+    initial = [
+        request
+        for client in clients
+        if (request := client.next_request(0.0)) is not None
+    ]
+
+    def on_complete(outcome) -> QueryRequest | None:
+        client = by_id.get(outcome.request.client_id)
+        if client is None:
+            return None
+        return client.next_request(server.clock.now())
+
+    return server.process(initial, on_complete=on_complete)

@@ -138,6 +138,21 @@ class EquiDepthHistogram:
     def _in_domain(self, value: float) -> bool:
         return self.boundaries[0] <= value <= self.boundaries[-1]
 
+    def mean(self) -> float:
+        """Estimated attribute mean (bucket-midpoint weighted by depth).
+
+        Feeds the serving layer's zero-sampling degraded answers for
+        SUM/AVG (:mod:`repro.server.degrade`): with uniform-within-bucket
+        values, the midpoint estimate is exact in expectation.
+        """
+        if self.total == 0:
+            return 0.0
+        weighted = sum(
+            depth * 0.5 * (self.boundaries[i] + self.boundaries[i + 1])
+            for i, depth in enumerate(self.depths)
+        )
+        return weighted / self.total
+
     # ------------------------------------------------------------------
     # Join selectivity
     # ------------------------------------------------------------------

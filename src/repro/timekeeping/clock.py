@@ -48,6 +48,17 @@ class SimulatedClock:
         self._now += seconds
         return self._now
 
+    def advance_to(self, instant: float) -> float:
+        """Jump forward to ``instant`` (no-op if it is already past).
+
+        The idle fast-forward a discrete-event scheduler needs: when the
+        run queue is empty the server sleeps until the next arrival. Time
+        never moves backwards, so an ``instant`` in the past is a no-op.
+        """
+        if instant > self._now:
+            self._now = float(instant)
+        return self._now
+
     def __repr__(self) -> str:
         return f"SimulatedClock(now={self._now:.6f})"
 

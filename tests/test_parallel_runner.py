@@ -11,6 +11,7 @@ import multiprocessing
 
 import pytest
 
+from repro.errors import CellRunError
 from repro.experiments.runner import _chunk_seeds, aggregate, run_cell
 from repro.observability import RecordingSink
 from repro.timecontrol.strategies import OneAtATimeInterval
@@ -100,6 +101,39 @@ class TestParallelMatchesSerial:
         serial = run_cell(setup, strategy_factory, 1, seed0=SEED0, workers=0)
         parallel = run_cell(setup, strategy_factory, 1, seed0=SEED0, workers=4)
         assert run_signature(serial[0]) == run_signature(parallel[0])
+
+
+class ExplodingStrategy(OneAtATimeInterval):
+    """Raises mid-run, deep inside the session (picklable for workers)."""
+
+    def choose_fraction(self, *args, **kwargs):
+        raise RuntimeError("boom: injected strategy failure")
+
+
+def exploding_factory():
+    return ExplodingStrategy(d_beta=24.0)
+
+
+class TestFailureNaming:
+    """A worker failure must name the seed and cell that died."""
+
+    def test_serial_failure_names_the_seed(self, setup):
+        with pytest.raises(CellRunError) as err:
+            run_cell(setup, exploding_factory, 3, seed0=SEED0, workers=0)
+        assert err.value.seed == SEED0
+        assert f"seed {SEED0}" in str(err.value)
+        assert "boom" in str(err.value)
+        assert "RuntimeError" in str(err.value)
+        # The original exception rides along for debugging.
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    @needs_fork
+    def test_worker_failure_names_the_seed_across_processes(self, setup):
+        with pytest.raises(CellRunError) as err:
+            run_cell(setup, exploding_factory, 4, seed0=SEED0, workers=2)
+        assert err.value.seed >= SEED0
+        assert f"seed {err.value.seed}" in str(err.value)
+        assert "boom" in str(err.value)
 
 
 class TestParallelGuards:

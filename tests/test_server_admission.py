@@ -1,0 +1,192 @@
+"""Admission control and degraded answers (repro.server.admission/degrade).
+
+The feasibility test is the paper's cost machinery pointed at a new
+question: can the cheapest useful stage fit the budget this request will
+have left at dispatch? These tests pin the pricing function, the three
+policies, and the zero-sampling fallback built on prestored statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TimeControlError
+from repro.estimation.aggregates import avg_of, sum_of
+from repro.relational.expression import rel, select
+from repro.relational.predicate import cmp
+from repro.server.admission import (
+    AdmissionAction,
+    AdmitAll,
+    DegradeInfeasible,
+    FeasibilityReport,
+    RejectInfeasible,
+    minimum_stage_cost,
+)
+from repro.server.degrade import degraded_estimate
+from repro.server.request import Outcome, QueryRequest
+from repro.server.scheduler import QueryServer
+from repro.server.workload import demo_database
+
+TUPLES = 1_000
+
+
+@pytest.fixture(scope="module")
+def db():
+    return demo_database(seed=11, tuples=TUPLES)
+
+
+@pytest.fixture(scope="module")
+def bare_db():
+    """Same relations, never analyzed — no prestored statistics."""
+    return demo_database(seed=11, tuples=TUPLES, analyze=False)
+
+
+def query():
+    return select(rel("r1"), cmp("a", "<", TUPLES // 2))
+
+
+class TestMinimumStageCost:
+    def test_positive_and_small_relative_to_a_generous_quota(self, db):
+        probe = db.open_session(query(), quota=10.0, seed=0)
+        cost = minimum_stage_cost(probe)
+        assert cost > 0
+        assert cost < 10.0
+
+    def test_probe_pricing_charges_nothing(self, db):
+        probe = db.open_session(query(), quota=10.0, seed=0)
+        before = probe.context.charger.clock.now()
+        minimum_stage_cost(probe)
+        assert probe.context.charger.clock.now() == before
+
+    def test_price_reflects_query_shape(self, bare_db):
+        from repro.relational.expression import intersect
+
+        sel = minimum_stage_cost(bare_db.open_session(query(), quota=10.0, seed=0))
+        both = minimum_stage_cost(
+            bare_db.open_session(
+                intersect(rel("r1"), rel("r2")), quota=10.0, seed=0
+            )
+        )
+        assert both > sel  # two relations' minimum stage costs more than one
+
+
+class TestFeasibilityReport:
+    def test_budget_at_start_subtracts_projected_wait(self):
+        report = FeasibilityReport(
+            min_stage_cost=0.2, projected_wait=1.5, budget_now=2.0
+        )
+        assert report.budget_at_start == pytest.approx(0.5)
+
+    def test_feasible_applies_safety_margin(self):
+        report = FeasibilityReport(
+            min_stage_cost=0.4, projected_wait=0.0, budget_now=0.5
+        )
+        assert report.feasible(safety_margin=1.0)
+        assert not report.feasible(safety_margin=1.5)
+
+
+class TestPolicies:
+    def feasible_report(self):
+        return FeasibilityReport(
+            min_stage_cost=0.1, projected_wait=0.0, budget_now=2.0
+        )
+
+    def infeasible_report(self):
+        return FeasibilityReport(
+            min_stage_cost=1.0, projected_wait=1.8, budget_now=2.0
+        )
+
+    def request(self):
+        return QueryRequest(expr=query(), quota=2.0)
+
+    def test_reject_infeasible(self):
+        policy = RejectInfeasible(safety_margin=1.5)
+        assert (
+            policy.decide(self.request(), self.feasible_report()).action
+            is AdmissionAction.ADMIT
+        )
+        verdict = policy.decide(self.request(), self.infeasible_report())
+        assert verdict.action is AdmissionAction.REJECT
+        assert "infeasible" in verdict.reason
+
+    def test_degrade_infeasible(self):
+        policy = DegradeInfeasible()
+        assert (
+            policy.decide(self.request(), self.feasible_report()).action
+            is AdmissionAction.ADMIT
+        )
+        verdict = policy.decide(self.request(), self.infeasible_report())
+        assert verdict.action is AdmissionAction.DEGRADE
+        assert "prestored" in verdict.reason
+
+    def test_admit_all_never_enforces(self):
+        policy = AdmitAll()
+        assert not policy.enforce_at_dispatch
+        verdict = policy.decide(self.request(), self.infeasible_report())
+        assert verdict.action is AdmissionAction.ADMIT
+
+    def test_describe_names_the_margin(self):
+        assert "1.5" in RejectInfeasible().describe()
+        assert "AdmitAll" in AdmitAll().describe()
+
+
+class TestDegradedEstimate:
+    def test_count_from_prestored_hints(self, db):
+        estimate = degraded_estimate(db, query())
+        assert estimate is not None
+        assert estimate.value > 0
+        # The CI is deliberately wide: sized for ±100% at 95% confidence.
+        assert estimate.relative_error_bound(0.95) == pytest.approx(1.0)
+
+    def test_sum_and_avg_use_histogram_mean(self, db):
+        total = degraded_estimate(db, rel("r1"), aggregate=sum_of("b"))
+        mean = degraded_estimate(db, rel("r1"), aggregate=avg_of("b"))
+        assert total is not None and mean is not None
+        assert total.value == pytest.approx(mean.value * TUPLES, rel=1e-9)
+
+    def test_unanalyzed_database_yields_none(self, bare_db):
+        assert degraded_estimate(bare_db, query()) is None
+
+    def test_narrower_halfwidth_respected(self, db):
+        estimate = degraded_estimate(db, query(), relative_halfwidth=0.5)
+        assert estimate.relative_error_bound(0.95) == pytest.approx(0.5)
+
+
+class TestDegradePathThroughServer:
+    def test_infeasible_request_degrades_on_analyzed_database(self, db):
+        server = QueryServer(db, policy=DegradeInfeasible())
+        outcome = server.serve(
+            QueryRequest(expr=query(), quota=1e-4, seed=1)
+        )
+        assert outcome.outcome is Outcome.DEGRADED
+        assert outcome.estimate is not None
+        assert outcome.queue_wait == 0.0
+        # Degraded answers are instant: no simulated time was consumed.
+        assert server.clock.now() == 0.0
+
+    def test_degrade_falls_back_to_reject_without_statistics(self, bare_db):
+        server = QueryServer(bare_db, policy=DegradeInfeasible())
+        outcome = server.serve(
+            QueryRequest(expr=query(), quota=1e-4, seed=1)
+        )
+        assert outcome.outcome is Outcome.REJECTED
+        assert "analyze" in outcome.reason
+
+
+class TestQueryRequest:
+    def test_validation(self):
+        with pytest.raises(TimeControlError):
+            QueryRequest(expr=query(), quota=0.0)
+        with pytest.raises(TimeControlError):
+            QueryRequest(expr=query(), quota=1.0, arrival=-1.0)
+
+    def test_deadline_and_ids(self):
+        first = QueryRequest(expr=query(), quota=2.0, arrival=3.0)
+        second = QueryRequest(expr=query(), quota=2.0)
+        assert first.deadline == pytest.approx(5.0)
+        assert first.request_id != second.request_id
+        assert first.request_id.startswith("client/")
+
+    def test_explicit_request_id_is_kept(self):
+        request = QueryRequest(expr=query(), quota=1.0, request_id="mine/1")
+        assert request.request_id == "mine/1"

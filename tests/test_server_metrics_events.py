@@ -1,0 +1,234 @@
+"""Server observability: metrics sink, typed events, JSONL replay.
+
+The serving layer speaks the same trace protocol as query execution, so a
+server run must round-trip through JSONL: events registered via
+``register_event_type`` are rebuilt by ``event_from_dict``, and replaying a
+captured stream into a fresh ``ServerMetrics`` reproduces the live counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.observability import (
+    JsonlSink,
+    RecordingSink,
+    event_from_dict,
+    read_jsonl_trace,
+    register_event_type,
+)
+from repro.observability.trace import TraceEvent
+from repro.relational.expression import rel, select
+from repro.relational.predicate import cmp
+from repro.server.admission import DegradeInfeasible
+from repro.server.events import (
+    AdmissionDecided,
+    RequestArrived,
+    RequestCompleted,
+    RequestStarted,
+)
+from repro.server.metrics import BucketHistogram, ServerMetrics
+from repro.server.request import Outcome, QueryRequest
+from repro.server.scheduler import QueryServer
+from repro.server.workload import demo_database
+
+TUPLES = 1_000
+
+
+@pytest.fixture(scope="module")
+def db():
+    return demo_database(seed=13, tuples=TUPLES)
+
+
+def query():
+    return select(rel("r1"), cmp("a", "<", TUPLES // 2))
+
+
+class TestBucketHistogram:
+    def test_buckets_boundaries_and_overflow(self):
+        hist = BucketHistogram((0.1, 1.0))
+        for value in (0.05, 0.1, 0.5, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 1]
+        assert hist.observed == 5
+        assert hist.mean == pytest.approx((0.05 + 0.1 + 0.5 + 1.0 + 2.0) / 5)
+
+    def test_non_finite_values_count_but_do_not_poison_the_mean(self):
+        hist = BucketHistogram((1.0,))
+        hist.observe(float("inf"))
+        hist.observe(0.5)
+        assert hist.observed == 2
+        assert hist.counts == [1, 1]
+        assert hist.mean == pytest.approx(0.25)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError, match="ascend"):
+            BucketHistogram((1.0, 0.1))
+
+    def test_as_dict_labels(self):
+        hist = BucketHistogram((0.5,))
+        hist.observe(0.2)
+        payload = hist.as_dict()
+        assert payload["buckets"] == {"<=0.5": 1, ">0.5": 0}
+
+
+class TestServerMetrics:
+    def completed(self, outcome: str, **kw) -> RequestCompleted:
+        defaults = dict(
+            request_id="c/1",
+            outcome=outcome,
+            reason="r",
+            queue_wait=0.5,
+            lateness=0.0,
+            relative_ci_halfwidth=0.1,
+            clock=1.0,
+        )
+        defaults.update(kw)
+        return RequestCompleted(**defaults)
+
+    def test_counters_from_synthetic_stream(self):
+        metrics = ServerMetrics()
+        metrics.emit(RequestArrived(request_id="c/1"))
+        metrics.emit(AdmissionDecided(request_id="c/1", action="admit"))
+        metrics.emit(RequestStarted(request_id="c/1"))
+        metrics.emit(self.completed("answered"))
+        metrics.emit(RequestArrived(request_id="c/2"))
+        metrics.emit(AdmissionDecided(request_id="c/2", action="reject"))
+        metrics.emit(
+            self.completed(
+                "rejected", request_id="c/2", relative_ci_halfwidth=None
+            )
+        )
+        assert metrics.arrived == 2
+        assert metrics.admitted == 1
+        assert metrics.rejected_at_admission == 1
+        assert metrics.completed == 2
+        assert metrics.count(Outcome.ANSWERED) == 1
+        assert metrics.hit_ratio_admitted == pytest.approx(1.0)
+        assert metrics.answered_ratio == pytest.approx(0.5)
+        assert metrics.mean_queue_wait == pytest.approx(0.5)
+
+    def test_lateness_observed_only_for_runs(self):
+        metrics = ServerMetrics()
+        metrics.emit(self.completed("answered", lateness=0.2))
+        metrics.emit(self.completed("missed", lateness=1.5))
+        metrics.emit(self.completed("rejected", lateness=0.0))
+        metrics.emit(self.completed("shed"))
+        assert metrics.lateness.observed == 2  # answered + missed only
+        assert metrics.achieved_ci.observed == 4
+
+    def test_hit_ratio_is_none_before_any_admission(self):
+        metrics = ServerMetrics()
+        assert metrics.hit_ratio_admitted is None
+        assert metrics.answered_ratio is None
+        assert "n/a" in metrics.render()
+
+    def test_unknown_event_kinds_are_ignored(self):
+        from repro.observability.trace import QueryStart
+
+        metrics = ServerMetrics()
+        metrics.emit(QueryStart(quota=1.0))
+        assert metrics.arrived == 0 and metrics.completed == 0
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        metrics = ServerMetrics()
+        metrics.emit(self.completed("answered"))
+        json.dumps(metrics.as_dict())
+
+
+class TestEventRegistry:
+    def test_server_events_round_trip_dicts(self):
+        event = AdmissionDecided(
+            request_id="c/9",
+            action="degrade",
+            reason="because",
+            min_stage_cost=0.5,
+            projected_wait=1.0,
+            budget_at_start=0.2,
+            clock=3.0,
+        )
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_reregistration_is_idempotent(self):
+        assert register_event_type(RequestArrived) is RequestArrived
+
+    def test_conflicting_kind_is_rejected(self):
+        @dataclass(frozen=True)
+        class Impostor(TraceEvent):
+            kind: ClassVar[str] = "request_arrived"
+
+        with pytest.raises(ValueError, match="request_arrived"):
+            register_event_type(Impostor)
+
+    def test_non_event_class_is_rejected(self):
+        with pytest.raises(TypeError):
+            register_event_type(dict)
+
+
+class TestLifecycleStream:
+    @pytest.fixture(scope="class")
+    def captured(self, db, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "server.jsonl"
+        sink = RecordingSink()
+        server = QueryServer(db, policy=DegradeInfeasible(), sink=sink)
+        requests = [
+            QueryRequest(expr=query(), quota=2.0, seed=1),
+            QueryRequest(expr=query(), quota=1e-4, arrival=0.1, seed=2),
+        ]
+        with JsonlSink(str(path)) as jsonl:
+            relay = QueryServer(db, policy=DegradeInfeasible(), sink=jsonl)
+            relay.process(requests)
+        outcomes = server.process(
+            [
+                QueryRequest(
+                    expr=query(), quota=2.0, seed=1, request_id="c/1"
+                ),
+                QueryRequest(
+                    expr=query(),
+                    quota=1e-4,
+                    arrival=0.1,
+                    seed=2,
+                    request_id="c/2",
+                ),
+            ]
+        )
+        return sink, outcomes, path
+
+    def test_lifecycle_order_per_request(self, captured):
+        sink, outcomes, _ = captured
+        for outcome in outcomes:
+            rid = outcome.request.request_id
+            kinds = [
+                e.kind
+                for e in sink
+                if getattr(e, "request_id", None) == rid
+            ]
+            assert kinds[0] == "request_arrived"
+            assert kinds[1] == "admission_decided"
+            assert kinds[-1] == "request_completed"
+            assert kinds.count("request_completed") == 1
+            if outcome.outcome is Outcome.ANSWERED:
+                assert "request_started" in kinds
+            else:
+                assert "request_started" not in kinds
+
+    def test_jsonl_replay_rebuilds_metrics(self, captured):
+        _, _, path = captured
+        events = read_jsonl_trace(str(path))
+        assert {type(e) for e in events} >= {
+            RequestArrived,
+            AdmissionDecided,
+            RequestCompleted,
+        }
+        replayed = ServerMetrics()
+        for event in events:
+            replayed.emit(event)
+        assert replayed.arrived == 2
+        assert replayed.completed == 2
+        assert replayed.count(Outcome.ANSWERED) == 1
+        assert replayed.count(Outcome.DEGRADED) == 1

@@ -1,0 +1,95 @@
+"""Session-isolation stress: many interleaved sessions = serial sessions.
+
+The session refactor's core promise is that a ``QuerySession`` owns *all*
+per-run mutable state. This stress test opens ≥50 sessions up front on one
+``Database`` — so their plans, trackers, chargers, and RNG streams coexist
+— then runs them in a shuffled order, and requires every run to be
+bit-identical to opening and running one session at a time on an identical
+database. Any hidden shared state (a leaked tracker, a shared clock, a
+global RNG) shows up as a signature mismatch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import Database
+from repro.estimation.aggregates import sum_of
+from repro.relational.expression import intersect, rel, select
+from repro.relational.predicate import cmp
+from repro.server.workload import demo_database
+
+SESSIONS = 50
+TUPLES = 1_200
+
+
+def make_db() -> Database:
+    return demo_database(seed=29, tuples=TUPLES, analyze=False)
+
+
+def spec(i: int) -> dict:
+    """Session ``i``'s query mix: selections, a SUM, and intersections."""
+    kind = i % 4
+    if kind == 0:
+        expr = select(rel("r1"), cmp("a", "<", 100 + 20 * i))
+        aggregate = None
+    elif kind == 1:
+        expr = select(rel("r2"), cmp("a", ">", 10 * i))
+        aggregate = None
+    elif kind == 2:
+        expr = rel("r1")
+        aggregate = sum_of("b")
+    else:
+        expr = intersect(rel("r1"), rel("r2"))
+        aggregate = None
+    return {
+        "expr": expr,
+        "quota": 0.5 + (i % 5) * 0.5,
+        "seed": 1_000 + i,
+        "aggregate": aggregate,
+    }
+
+
+def signature(result) -> tuple:
+    """Everything observable about one run, for bit-identity comparison."""
+    report = result.report
+    estimate = report.estimate
+    return (
+        None if estimate is None else estimate.value,
+        None if estimate is None else estimate.variance,
+        report.termination,
+        len(report.stages),
+        report.total_blocks,
+        tuple((s.fraction, s.duration, s.blocks_read) for s in report.stages),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_signatures():
+    """Open + run one session at a time on a fresh database."""
+    db = make_db()
+    signatures = {}
+    for i in range(SESSIONS):
+        session = db.open_session(**spec(i))
+        signatures[i] = signature(session.run())
+    return signatures
+
+
+def test_interleaved_sessions_match_serial(serial_signatures):
+    db = make_db()
+    sessions = {i: db.open_session(**spec(i)) for i in range(SESSIONS)}
+    order = list(range(SESSIONS))
+    random.Random(7).shuffle(order)
+    interleaved = {i: signature(sessions[i].run()) for i in order}
+    assert interleaved == serial_signatures
+
+
+def test_reversed_execution_order_matches_too(serial_signatures):
+    db = make_db()
+    sessions = [db.open_session(**spec(i)) for i in range(SESSIONS)]
+    reversed_sigs = {}
+    for i in reversed(range(SESSIONS)):
+        reversed_sigs[i] = signature(sessions[i].run())
+    assert reversed_sigs == serial_signatures
