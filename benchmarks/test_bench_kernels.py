@@ -1,0 +1,158 @@
+"""Kernel-layer wall-clock benchmark — vectorized vs row-at-a-time.
+
+The kernel layer (:mod:`repro.kernels`) promises that charged simulated
+costs are bit-identical on both execution paths while *wall-clock* time
+drops. This benchmark measures exactly that: the same staged plans are
+driven stage by stage under ``vectorized=True`` and ``vectorized=False``,
+timing each ``advance_stage`` with ``perf_counter``. Three shapes cover the
+engine's hot paths —
+
+* **select** — whole-stage predicate masks vs per-row predicate calls;
+* **join** — the full-fulfillment new×old merge path, where the reference
+  loops one pairwise merge per prior stage while the kernels answer all
+  pairs from one consolidated sorted run;
+* **intersect** — the same machinery over whole-row keys.
+
+Results (per-stage times, totals, speedups) land in ``BENCH_kernels.json``
+at the repo root (uploaded as a CI artifact). The acceptance bars: the
+join benchmark must show a ≥3× total speedup, and the vectorized per-stage
+time must grow across stages strictly slower than the reference path's
+(the stage-count scaling the consolidated run removes).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.relational.expression import intersect, join, rel, select
+from repro.relational.predicate import And, cmp
+
+TUPLES = 24_000
+KEY_SPACE = 3_000
+STAGES = 12
+FRACTION = 0.04
+SEED = 11
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def build_database() -> Database:
+    db = Database(seed=SEED)
+    rng = np.random.default_rng(5)
+    db.create_relation(
+        "big_r",
+        [("a", "int"), ("b", "int")],
+        rows=(
+            (int(rng.integers(0, KEY_SPACE)), int(rng.integers(0, 100)))
+            for _ in range(TUPLES)
+        ),
+    )
+    rng = np.random.default_rng(6)
+    db.create_relation(
+        "big_s",
+        [("a", "int"), ("b", "int")],
+        rows=(
+            (int(rng.integers(0, KEY_SPACE)), int(rng.integers(0, 100)))
+            for _ in range(TUPLES)
+        ),
+    )
+    return db
+
+
+BENCH_EXPRS = {
+    "select": select(
+        rel("big_r"),
+        And((cmp("b", "<", 80), cmp("a", ">", 200), cmp("b", "!=", 40))),
+    ),
+    "join": join(rel("big_r"), rel("big_s"), on=[("a", "a")]),
+    "intersect": intersect(rel("big_r"), rel("big_s")),
+}
+
+
+def time_stages(expr, vectorized: bool) -> dict:
+    """Drive one staged plan to STAGES stages; wall-time each advance."""
+    session = build_database().open_session(
+        expr, quota=1e12, seed=3, vectorized=vectorized
+    )
+    stage_seconds = []
+    for _ in range(STAGES):
+        start = time.perf_counter()
+        session.plan.advance_stage(FRACTION)
+        stage_seconds.append(time.perf_counter() - start)
+    return {
+        "stage_seconds": stage_seconds,
+        "total_seconds": sum(stage_seconds),
+        "estimate": session.plan.estimate().value,
+        "charged_seconds": session.charger.clock.now(),
+    }
+
+
+def growth_ratio(stage_seconds: list[float]) -> float:
+    """Late-stage over early-stage mean advance time (stage-count scaling)."""
+    early = sum(stage_seconds[:3]) / 3
+    late = sum(stage_seconds[-3:]) / 3
+    return late / early if early > 0 else float("inf")
+
+
+def test_kernels_speed_up_stage_advance_without_changing_charges():
+    report = {
+        "settings": {
+            "tuples": TUPLES,
+            "key_space": KEY_SPACE,
+            "stages": STAGES,
+            "fraction": FRACTION,
+            "seed": SEED,
+        },
+        "benchmarks": {},
+    }
+    for name, expr in BENCH_EXPRS.items():
+        vec = time_stages(expr, vectorized=True)
+        ref = time_stages(expr, vectorized=False)
+        speedup = (
+            ref["total_seconds"] / vec["total_seconds"]
+            if vec["total_seconds"] > 0
+            else float("inf")
+        )
+        report["benchmarks"][name] = {
+            "vectorized": vec,
+            "rowwise": ref,
+            "speedup": speedup,
+            "growth_vectorized": growth_ratio(vec["stage_seconds"]),
+            "growth_rowwise": growth_ratio(ref["stage_seconds"]),
+        }
+        # The two paths must agree on everything the controller observes.
+        assert vec["estimate"] == ref["estimate"]
+        assert vec["charged_seconds"] == ref["charged_seconds"]
+
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for name, bench in report["benchmarks"].items():
+        print(
+            f"  {name:9s}: {bench['rowwise']['total_seconds']*1e3:8.1f} ms row "
+            f"-> {bench['vectorized']['total_seconds']*1e3:7.1f} ms vec "
+            f"({bench['speedup']:.1f}x); per-stage growth "
+            f"{bench['growth_rowwise']:.1f}x -> {bench['growth_vectorized']:.1f}x"
+        )
+    print(f"  report: {REPORT_PATH}")
+
+    join_bench = report["benchmarks"]["join"]
+    # Acceptance bar 1: the join stage-advance path is ≥3x faster in total.
+    assert join_bench["speedup"] >= 3.0, (
+        f"join kernels must be >=3x faster than the row-at-a-time path; "
+        f"measured {join_bench['speedup']:.2f}x"
+    )
+    # Acceptance bar 2: per-stage time stops scaling with the stage count —
+    # the reference's late stages slow down (one pairwise merge per prior
+    # run) much more than the consolidated-run path's.
+    assert (
+        join_bench["growth_vectorized"] < join_bench["growth_rowwise"]
+    ), (
+        f"vectorized per-stage growth {join_bench['growth_vectorized']:.2f}x "
+        f"should stay below the reference's "
+        f"{join_bench['growth_rowwise']:.2f}x"
+    )

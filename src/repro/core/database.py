@@ -254,6 +254,7 @@ class Database:
         sink: TraceSink | None = None,
         trace_costs: bool = False,
         clock: Clock | None = None,
+        vectorized: bool | None = None,
     ) -> QuerySession:
         """Open a :class:`QuerySession` for one time-constrained run.
 
@@ -269,6 +270,13 @@ class Database:
         how :class:`repro.server.QueryServer` multiplexes many deadline-bound
         queries over one simulated machine. Sessions sharing a clock must be
         executed serially; nothing else about them is shared.
+
+        ``vectorized`` selects the execution path of the staged engine's hot
+        loops: ``True`` forces the columnar kernels (:mod:`repro.kernels`),
+        ``False`` the row-at-a-time reference path, and ``None`` (default)
+        honours the ``REPRO_KERNELS`` environment switch. Both paths charge
+        identical simulated costs — estimates, traces, and charged times are
+        bit-for-bit equal; only wall-clock speed differs.
 
         Call :meth:`QuerySession.run` to execute; or use the
         :meth:`count_estimate` / :meth:`sum_estimate` / :meth:`avg_estimate`
@@ -318,6 +326,7 @@ class Database:
             zero_fix_beta=zero_fix_beta,
             hint_provider=hint_provider,
             pin_selectivities=selectivity_source == "prestored",
+            vectorized=vectorized,
         )
 
     def count_estimate(

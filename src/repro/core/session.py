@@ -86,6 +86,7 @@ class QuerySession:
         zero_fix_beta: float | None = None,
         hint_provider=None,
         pin_selectivities: bool = False,
+        vectorized: bool | None = None,
     ) -> None:
         from repro.estimation.aggregates import COUNT
 
@@ -109,6 +110,7 @@ class QuerySession:
             hint_provider=hint_provider,
             pin_selectivities=pin_selectivities,
             sink=context.sink,
+            vectorized=vectorized,
         )
         self.executor = TimeConstrainedExecutor(
             self.plan,

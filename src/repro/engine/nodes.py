@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import compress
 from typing import Callable, Protocol, Sequence
 
 from repro.catalog.schema import Schema
@@ -40,15 +41,20 @@ from repro.costmodel import steps as step_names
 from repro.costmodel.model import CostModel
 from repro.errors import TimeControlError
 from repro.estimation.selectivity import SelectivityTracker
+from repro.kernels import runs as _kernels
+from repro.kernels.cache import cached_sort_key, compiled_predicate
+from repro.kernels.columns import ColumnBatch
 from repro.relational.operators import (
     apply_select,
+    charge_external_sort,
+    charge_merge,
     external_sort,
-    key_for_positions,
     merge_intersect,
     merge_join,
     project_rows,
     whole_row_key,
 )
+from repro.relational.predicate import Predicate
 from repro.sampling.sampler import BlockSampler, blocks_for_fraction
 from repro.storage.block import Row
 from repro.storage.heapfile import HeapFile
@@ -127,15 +133,27 @@ class _NodeBase:
         block_size: int,
         full_fulfillment: bool,
         spool: "Spool | None" = None,
+        vectorized: bool = False,
     ) -> None:
         self.charger = charger
         self.cost_model = cost_model
         self.block_size = block_size
         self.full_fulfillment = full_fulfillment
+        self.vectorized = vectorized
         self.spool = spool if spool is not None else Spool(block_size)
         self.stage = 0  # completed stages
         self.cum_out_tuples = 0
         self.points_so_far = 0
+        # Columnar view of this node's latest stage output; consumed by a
+        # vectorized parent so columns decoded here aren't decoded twice.
+        self.stage_columns: ColumnBatch | None = None
+
+    def _child_batch(self, child: "StagedNode", rows: list[Row]) -> ColumnBatch:
+        """The child's stage batch if it matches ``rows``, else a fresh one."""
+        batch = getattr(child, "stage_columns", None)
+        if batch is not None and batch.rows is rows:
+            return batch
+        return ColumnBatch(rows, child.schema)
 
     # -- region geometry ------------------------------------------------
     def base_scans(self) -> list["StagedScan"]:
@@ -199,8 +217,11 @@ class StagedScan(_NodeBase):
         block_size: int,
         full_fulfillment: bool,
         spool: "Spool | None" = None,
+        vectorized: bool = False,
     ) -> None:
-        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        super().__init__(
+            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+        )
         self.relation = relation
         self.sampler = sampler
         self.schema = relation.schema
@@ -239,6 +260,11 @@ class StagedScan(_NodeBase):
         if d:
             self.cost_model.observe(step_names.SCAN_READ, [d, 1.0], meter.elapsed)
         self._stage_rows = rows
+        if self.vectorized:
+            # Decode the stage's blocks into the columnar view once; every
+            # term that shares this scan reuses the same batch. Uncharged:
+            # the simulated block reads above already paid for the I/O.
+            self.stage_columns = ColumnBatch(rows, self.schema)
         self.new_tuples = len(rows)
         self.cum_tuples += len(rows)
         self.stage = stage
@@ -260,13 +286,19 @@ class StagedScan(_NodeBase):
 
 
 class StagedSelect(_NodeBase):
-    """Staged selection (Figure 4.3 / equation 4.1)."""
+    """Staged selection (Figure 4.3 / equation 4.1).
+
+    ``predicate`` may be the :class:`~repro.relational.predicate.Predicate`
+    AST — compiled exactly once at construction, through the process-wide
+    kernel cache, into both the row function and the vectorized mask — or a
+    pre-compiled row callable (legacy form), which forces this node onto
+    the row-at-a-time path since no mask can be derived from it.
+    """
 
     def __init__(
         self,
         child: "StagedNode",
-        predicate_fn: Callable[[Row], bool],
-        comparison_count: int,
+        predicate: "Predicate | Callable[[Row], bool]",
         label: str,
         initial_selectivity: float,
         charger: CostCharger,
@@ -274,12 +306,22 @@ class StagedSelect(_NodeBase):
         block_size: int,
         full_fulfillment: bool,
         spool: "Spool | None" = None,
+        vectorized: bool = False,
     ) -> None:
-        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        super().__init__(
+            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+        )
         self.child = child
-        self.predicate_fn = predicate_fn
-        self.comparison_count = comparison_count
         self.schema = child.schema
+        if isinstance(predicate, Predicate):
+            compiled = compiled_predicate(predicate, child.schema)
+            self.predicate_fn = compiled.row_fn
+            self._mask_fn = compiled.mask_fn
+            self.comparison_count = compiled.comparison_count
+        else:  # bare callable: no columnar counterpart available
+            self.predicate_fn = predicate
+            self._mask_fn = None
+            self.comparison_count = 1
         self.tracker = SelectivityTracker(label, initial_selectivity)
 
     def base_scans(self) -> list[StagedScan]:
@@ -288,11 +330,29 @@ class StagedSelect(_NodeBase):
     def iter_nodes(self) -> list["StagedNode"]:
         return [self, *self.child.iter_nodes()]
 
+    def _select_vectorized(self, rows: list[Row]) -> list[Row]:
+        """Whole-stage filter: same charges as ``apply_select``, one mask."""
+        self.charger.charge(CostKind.OP_INIT, 1)
+        if rows:
+            self.charger.charge(CostKind.SELECT_CHECK, len(rows))
+        batch = self._child_batch(self.child, rows)
+        mask = self._mask_fn(batch)
+        out = list(compress(rows, mask.tolist()))
+        if out:
+            self.charger.charge(CostKind.PAGE_WRITE, -(-len(out) // self._bf()))
+        self.stage_columns = ColumnBatch(out, self.schema)
+        return out
+
     def advance(self, stage: int) -> list[Row]:
         self._check_stage(stage)
         rows = self.child.advance(stage)
         with self.charger.measure() as meter:
-            out = apply_select(rows, self.predicate_fn, self.charger, self._bf())
+            if self.vectorized and self._mask_fn is not None:
+                out = self._select_vectorized(rows)
+            else:
+                out = apply_select(
+                    rows, self.predicate_fn, self.charger, self._bf()
+                )
         pages = -(-len(out) // self._bf()) if out else 0
         self.cost_model.observe(
             step_names.SELECT_OP, [len(rows), pages, 1.0], meter.elapsed
@@ -324,6 +384,17 @@ class _StagedBinary(_NodeBase):
     Keeps the per-stage sorted runs ``F_{j,i}`` of both children; stage ``s``
     writes + sorts the new runs and performs the full- or partial-fulfillment
     merges, charging equations (4.2)–(4.4).
+
+    Two execution paths compute the same stage. The row-at-a-time reference
+    path loops a pairwise sorted merge over every old run, so Python work
+    per stage grows with the stage count. The vectorized path keeps **one
+    consolidated sorted run per side** (:class:`repro.kernels.SortedRun`):
+    all new x old pairs are answered by a single ``searchsorted`` probe and
+    split back into per-old-run outputs by stage tag, after which the new
+    run is merged in once. The *charged* simulated costs — temp writes,
+    sorts, and one :func:`charge_merge` per (new, old-run) pair in run
+    order — are issued identically on both paths, so estimates, traces,
+    and charged times are bit-identical; only wall-clock time differs.
     """
 
     write_step: str
@@ -341,8 +412,11 @@ class _StagedBinary(_NodeBase):
         block_size: int,
         full_fulfillment: bool,
         spool: "Spool | None" = None,
+        vectorized: bool = False,
     ) -> None:
-        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        super().__init__(
+            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+        )
         self.left = left
         self.right = right
         self.tracker = SelectivityTracker(label, initial_selectivity)
@@ -350,6 +424,13 @@ class _StagedBinary(_NodeBase):
         self._right_runs: list[SpoolFile] = []
         self.cum_left_in = 0
         self.cum_right_in = 0
+        self._sort_key_pair: tuple[
+            Callable[[Row], tuple], Callable[[Row], tuple]
+        ] | None = None
+        # Consolidated sorted runs (vectorized full fulfillment only;
+        # partial fulfillment never revisits old runs).
+        self._left_sorted = _kernels.SortedRun()
+        self._right_sorted = _kernels.SortedRun()
 
     def base_scans(self) -> list[StagedScan]:
         return self.left.base_scans() + self.right.base_scans()
@@ -359,9 +440,34 @@ class _StagedBinary(_NodeBase):
 
     # Subclass hooks ----------------------------------------------------
     def _sort_keys(self) -> tuple[Callable[[Row], tuple], Callable[[Row], tuple]]:
+        """Row-path sort keys, built once at first use and cached."""
+        if self._sort_key_pair is None:
+            left_pos, right_pos = self._key_positions()
+            self._sort_key_pair = (
+                cached_sort_key(left_pos),
+                cached_sort_key(right_pos),
+            )
+        return self._sort_key_pair
+
+    def _key_positions(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(left, right) attribute positions forming the merge key."""
         raise NotImplementedError
 
     def _merge(self, left_run: list[Row], right_run: list[Row]) -> list[Row]:
+        raise NotImplementedError
+
+    def _vec_new_new(
+        self, left: "_kernels.KeyedRows", right: "_kernels.KeyedRows"
+    ) -> list[Row]:
+        raise NotImplementedError
+
+    def _vec_vs_run(
+        self,
+        new: "_kernels.KeyedRows",
+        run: "_kernels.SortedRun",
+        run_codes,
+        new_on_left: bool,
+    ) -> list[list[Row]]:
         raise NotImplementedError
 
     # Execution ----------------------------------------------------------
@@ -369,7 +475,32 @@ class _StagedBinary(_NodeBase):
         self._check_stage(stage)
         new_left = self.left.advance(stage)
         new_right = self.right.advance(stage)
+        if self.vectorized:
+            out, left_file, right_file = self._stage_vectorized(
+                stage, new_left, new_right
+            )
+        else:
+            out, left_file, right_file = self._stage_rowwise(new_left, new_right)
 
+        if self.full_fulfillment:
+            # The runs must survive for future cross-stage merges. (The
+            # vectorized path reads them back via the consolidated runs but
+            # retains the files so temp-space accounting is path-invariant.)
+            self._left_runs.append(left_file)
+            self._right_runs.append(right_file)
+        else:
+            # Partial fulfillment never revisits old runs: release at once.
+            self.spool.release(left_file)
+            self.spool.release(right_file)
+        self.cum_left_in += len(new_left)
+        self.cum_right_in += len(new_right)
+        self.stage = stage
+        self._record(len(out))
+        return out
+
+    def _spool_and_charge_writes(
+        self, new_left: list[Row], new_right: list[Row]
+    ) -> tuple[SpoolFile, SpoolFile]:
         # Step (1): write the stage's sample tuples to temporary files —
         # "all the intermediate relations are always kept on disks".
         left_file = self.spool.create(self.left.schema)
@@ -377,8 +508,17 @@ class _StagedBinary(_NodeBase):
         with self.charger.measure() as meter:
             left_file.write(new_left, self.charger)
             right_file.write(new_right, self.charger)
+        self.cost_model.observe(
+            self.write_step, [len(new_left) + len(new_right), 1.0], meter.elapsed
+        )
+        return left_file, right_file
+
+    def _stage_rowwise(
+        self, new_left: list[Row], new_right: list[Row]
+    ) -> tuple[list[Row], SpoolFile, SpoolFile]:
+        """The reference path: pairwise merges against every old run."""
+        left_file, right_file = self._spool_and_charge_writes(new_left, new_right)
         total_in = len(new_left) + len(new_right)
-        self.cost_model.observe(self.write_step, [total_in, 1.0], meter.elapsed)
 
         # Step (2): sort the temporary files.
         left_key, right_key = self._sort_keys()
@@ -416,20 +556,99 @@ class _StagedBinary(_NodeBase):
         self.cost_model.observe(
             self.merge_step, [reads, len(out), merges], meter.elapsed
         )
+        return out, left_file, right_file
+
+    def _stage_vectorized(
+        self, stage: int, new_left: list[Row], new_right: list[Row]
+    ) -> tuple[list[Row], SpoolFile, SpoolFile]:
+        """The kernel path: identical charges, bulk computation."""
+        left_file, right_file = self._spool_and_charge_writes(new_left, new_right)
+        total_in = len(new_left) + len(new_right)
+        left_pos, right_pos = self._key_positions()
+        left_keys = self._child_batch(self.left, new_left).key_columns(left_pos)
+        right_keys = self._child_batch(self.right, new_right).key_columns(
+            right_pos
+        )
+
+        # Step (2): sort the temporary files — equation (4.3) charged per
+        # file exactly as external_sort would, ordering done columnar.
+        with self.charger.measure() as meter:
+            charge_external_sort(self.charger, len(new_left))
+            left_order = _kernels.stable_lexsort(left_keys)
+            sorted_left = _kernels.rows_array(new_left)[left_order]
+            left_keys = [col[left_order] for col in left_keys]
+            left_file.replace_rows(sorted_left.tolist())
+            charge_external_sort(self.charger, len(new_right))
+            right_order = _kernels.stable_lexsort(right_keys)
+            sorted_right = _kernels.rows_array(new_right)[right_order]
+            right_keys = [col[right_order] for col in right_keys]
+            right_file.replace_rows(sorted_right.tolist())
+        self.cost_model.observe(
+            self.sort_step,
+            [_nlogn(len(new_left)) + _nlogn(len(new_right)), total_in, 1.0],
+            meter.elapsed,
+        )
+
+        # Step (3): merges. One joint code space over the new runs and both
+        # consolidated runs prices every pair with one searchsorted probe;
+        # charge_merge is then replayed per pair in the reference order
+        # (new×new, new-left × old-rights, old-lefts × new-right).
+        bf = self._bf()
+        out: list[Row] = []
+        reads = 0
+        merges = 0
+        with self.charger.measure() as meter:
+            codes = _kernels.encode_columns(
+                [
+                    left_keys,
+                    right_keys,
+                    self._left_sorted.key_columns_or_empty(left_keys),
+                    self._right_sorted.key_columns_or_empty(right_keys),
+                ]
+            )
+            keyed_left = _kernels.KeyedRows(codes[0], sorted_left)
+            keyed_right = _kernels.KeyedRows(codes[1], sorted_right)
+
+            pair_out = self._vec_new_new(keyed_left, keyed_right)
+            out.extend(pair_out)
+            charge_merge(
+                self.charger, len(left_file), len(right_file), pair_out, bf
+            )
+            reads += len(left_file) + len(right_file)
+            merges += 1
+            if self.full_fulfillment:
+                right_outs = self._vec_vs_run(
+                    keyed_left, self._right_sorted, codes[3], new_on_left=True
+                )
+                for (_s, run_len), pair_out in zip(
+                    self._right_sorted.lengths, right_outs
+                ):
+                    out.extend(pair_out)
+                    charge_merge(
+                        self.charger, len(left_file), run_len, pair_out, bf
+                    )
+                    reads += len(left_file) + run_len
+                    merges += 1
+                left_outs = self._vec_vs_run(
+                    keyed_right, self._left_sorted, codes[2], new_on_left=False
+                )
+                for (_s, run_len), pair_out in zip(
+                    self._left_sorted.lengths, left_outs
+                ):
+                    out.extend(pair_out)
+                    charge_merge(
+                        self.charger, run_len, len(right_file), pair_out, bf
+                    )
+                    reads += run_len + len(right_file)
+                    merges += 1
+        self.cost_model.observe(
+            self.merge_step, [reads, len(out), merges], meter.elapsed
+        )
 
         if self.full_fulfillment:
-            # The runs must survive for future cross-stage merges.
-            self._left_runs.append(left_file)
-            self._right_runs.append(right_file)
-        else:
-            # Partial fulfillment never revisits old runs: release at once.
-            self.spool.release(left_file)
-            self.spool.release(right_file)
-        self.cum_left_in += len(new_left)
-        self.cum_right_in += len(new_right)
-        self.stage = stage
-        self._record(len(out))
-        return out
+            self._left_sorted.merge_in(left_keys, sorted_left, stage)
+            self._right_sorted.merge_in(right_keys, sorted_right, stage)
+        return out, left_file, right_file
 
     # Prediction ----------------------------------------------------------
     def predict(self, ctx: PredictContext) -> StagePrediction:
@@ -477,8 +696,28 @@ class StagedIntersect(_StagedBinary):
     def _sort_keys(self):
         return whole_row_key, whole_row_key
 
+    def _key_positions(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        positions = tuple(range(len(self.schema.attributes)))
+        return positions, positions
+
     def _merge(self, left_run: list[Row], right_run: list[Row]) -> list[Row]:
         return merge_intersect(left_run, right_run, self.charger, self._bf())
+
+    def _vec_new_new(
+        self, left: "_kernels.KeyedRows", right: "_kernels.KeyedRows"
+    ) -> list[Row]:
+        return _kernels.intersect_new_new(left, right)
+
+    def _vec_vs_run(
+        self,
+        new: "_kernels.KeyedRows",
+        run: "_kernels.SortedRun",
+        run_codes,
+        new_on_left: bool,
+    ) -> list[list[Row]]:
+        # Whole-row keys make both directions symmetric: representative
+        # tuples are value-identical whichever side supplies them.
+        return _kernels.intersect_vs_run(new, run, run_codes)
 
 
 class StagedJoin(_StagedBinary):
@@ -501,8 +740,8 @@ class StagedJoin(_StagedBinary):
         self._right_key = [right.schema.index_of(b) for _, b in self.on]
         self.schema = left.schema.join(right.schema)
 
-    def _sort_keys(self):
-        return key_for_positions(self._left_key), key_for_positions(self._right_key)
+    def _key_positions(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        return tuple(self._left_key), tuple(self._right_key)
 
     def _merge(self, left_run: list[Row], right_run: list[Row]) -> list[Row]:
         return merge_join(
@@ -513,6 +752,20 @@ class StagedJoin(_StagedBinary):
             self.charger,
             self._bf(),
         )
+
+    def _vec_new_new(
+        self, left: "_kernels.KeyedRows", right: "_kernels.KeyedRows"
+    ) -> list[Row]:
+        return _kernels.join_new_new(left, right)
+
+    def _vec_vs_run(
+        self,
+        new: "_kernels.KeyedRows",
+        run: "_kernels.SortedRun",
+        run_codes,
+        new_on_left: bool,
+    ) -> list[list[Row]]:
+        return _kernels.join_vs_run(new, run, run_codes, new_on_left)
 
 
 class StagedProject(_NodeBase):
@@ -534,8 +787,11 @@ class StagedProject(_NodeBase):
         block_size: int,
         full_fulfillment: bool,
         spool: "Spool | None" = None,
+        vectorized: bool = False,
     ) -> None:
-        super().__init__(charger, cost_model, block_size, full_fulfillment, spool)
+        super().__init__(
+            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+        )
         self.child = child
         self.attrs = tuple(attrs)
         self._positions = [child.schema.index_of(a) for a in self.attrs]

@@ -46,6 +46,7 @@ from repro.estimation.count_estimators import (
 from repro.estimation.estimate import Estimate
 from repro.estimation.goodman import goodman_estimate
 from repro.estimation.selectivity import SelectivityTracker
+from repro.kernels import kernels_enabled
 from repro.observability.trace import (
     NULL_SINK,
     NullSink,
@@ -161,8 +162,11 @@ class StagedPlan:
         hint_provider=None,
         pin_selectivities: bool = False,
         sink: TraceSink | None = None,
+        vectorized: bool | None = None,
     ) -> None:
         self.expr = expr
+        # None → honour the process-wide REPRO_KERNELS switch (default on).
+        self.vectorized = kernels_enabled() if vectorized is None else vectorized
         self.sink: TraceSink = sink if sink is not None else NULL_SINK
         self.aggregate = aggregate
         self._hint_provider = hint_provider
@@ -230,6 +234,7 @@ class StagedPlan:
             block_size=self.block_size,
             full_fulfillment=self.full_fulfillment,
             spool=self.spool,
+            vectorized=self.vectorized,
         )
 
     def _next_label(self, kind: str) -> str:
@@ -266,8 +271,7 @@ class StagedPlan:
             return self._finish_node(
                 StagedSelect(
                     child,
-                    expr.predicate.compile(child.schema),
-                    expr.predicate.comparison_count(),
+                    expr.predicate,
                     label=self._next_label("select"),
                     initial_selectivity=initial,
                     **self._common_kwargs(),

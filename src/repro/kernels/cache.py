@@ -1,0 +1,57 @@
+"""Compilation caches — predicates and sort keys built once, not per stage.
+
+``Predicate`` nodes and :class:`~repro.catalog.schema.Schema` are frozen
+(hashable) dataclasses, so one process-wide LRU maps
+``(predicate, schema)`` to its compiled row function *and* vectorized mask
+function. The staged nodes hold the compiled pair from construction on —
+nothing is recompiled per stage — and repeated queries over the same
+formula (a serving workload's common case) share one compilation.
+
+Predicates carrying unhashable constants fall back to direct compilation;
+the cache is an optimization, never a requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.catalog.schema import Schema
+from repro.relational.operators.sort import SortKey, key_for_positions
+from repro.relational.predicate import ColumnMask, Predicate
+from repro.storage.block import Row
+
+
+@dataclass(frozen=True)
+class CompiledPredicate:
+    """Both compilations of one formula against one schema."""
+
+    row_fn: Callable[[Row], bool]
+    mask_fn: ColumnMask
+    comparison_count: int
+
+
+def _compile(predicate: Predicate, schema: Schema) -> CompiledPredicate:
+    return CompiledPredicate(
+        row_fn=predicate.compile(schema),
+        mask_fn=predicate.compile_mask(schema),
+        comparison_count=predicate.comparison_count(),
+    )
+
+
+_cached_compile = lru_cache(maxsize=512)(_compile)
+
+
+def compiled_predicate(predicate: Predicate, schema: Schema) -> CompiledPredicate:
+    """Compiled (row, mask) pair for ``predicate`` bound to ``schema``."""
+    try:
+        return _cached_compile(predicate, schema)
+    except TypeError:  # unhashable constant inside the formula
+        return _compile(predicate, schema)
+
+
+@lru_cache(maxsize=512)
+def cached_sort_key(positions: tuple[int, ...]) -> SortKey:
+    """Shared sort-key extractor for attribute ``positions``."""
+    return key_for_positions(positions)

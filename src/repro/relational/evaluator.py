@@ -83,7 +83,11 @@ class ExactEvaluator:
         if isinstance(expr, Select):
             rows = self._eval(expr.child)
             schema = expr.schema(self.catalog)
-            predicate = expr.predicate.compile(schema)
+            # Shared compilation cache: repeated evaluations of the same
+            # formula (oracle checks inside experiment batteries) bind once.
+            from repro.kernels.cache import compiled_predicate
+
+            predicate = compiled_predicate(expr.predicate, schema).row_fn
             return apply_select(rows, predicate, self.charger, self._bf(schema))
         if isinstance(expr, Project):
             return self._eval_project(expr)

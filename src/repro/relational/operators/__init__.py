@@ -1,12 +1,14 @@
 """Charged operator primitives shared by the exact and staged engines."""
 
 from repro.relational.operators.merge import (
+    charge_merge,
     merge_difference,
     merge_intersect,
     merge_join,
     merge_union,
 )
 from repro.relational.operators.sort import (
+    charge_external_sort,
     external_sort,
     key_for_positions,
     whole_row_key,
@@ -19,6 +21,8 @@ from repro.relational.operators.unary import (
 
 __all__ = [
     "apply_select",
+    "charge_external_sort",
+    "charge_merge",
     "dedupe_sorted",
     "external_sort",
     "key_for_positions",

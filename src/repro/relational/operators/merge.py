@@ -27,19 +27,28 @@ from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.profile import CostKind
 
 
-def _charge_merge(
+def charge_merge(
     charger: CostCharger,
     n_left: int,
     n_right: int,
     outputs: list[Row],
     blocking_factor: int,
 ) -> None:
+    """Charge equation (4.4)'s terms for one pairwise sorted merge.
+
+    Public so the vectorized kernels can replay the exact per-merge charge
+    sequence (one call per new x old run pair, in run order) after
+    computing all the pairs' outputs in bulk.
+    """
     charger.charge(CostKind.MERGE_INIT, 1)
     if n_left + n_right:
         charger.charge(CostKind.MERGE_TUPLE, n_left + n_right)
     if outputs:
         charger.charge(CostKind.OUTPUT_TUPLE, len(outputs))
         charger.charge(CostKind.PAGE_WRITE, -(-len(outputs) // blocking_factor))
+
+
+_charge_merge = charge_merge  # backwards-compatible module-private alias
 
 
 def merge_intersect(

@@ -35,13 +35,22 @@ def whole_row_key(row: Row) -> tuple:
     return row
 
 
-def external_sort(
-    rows: list[Row], key: SortKey, charger: CostCharger
-) -> list[Row]:
-    """Return ``rows`` sorted by ``key``, charging equation (4.3)'s terms."""
-    n = len(rows)
+def charge_external_sort(charger: CostCharger, n: int) -> None:
+    """Charge equation (4.3)'s terms for sorting ``n`` tuples.
+
+    Split out so the vectorized kernels can replay the exact charge
+    sequence of :func:`external_sort` while ordering the rows with a bulk
+    primitive instead of Python's ``sorted``.
+    """
     if n > 1:
         charger.charge(CostKind.SORT_UNIT, n * math.log2(n))
     if n:
         charger.charge(CostKind.SORT_TUPLE, n)
+
+
+def external_sort(
+    rows: list[Row], key: SortKey, charger: CostCharger
+) -> list[Row]:
+    """Return ``rows`` sorted by ``key``, charging equation (4.3)'s terms."""
+    charge_external_sort(charger, len(rows))
     return sorted(rows, key=key)

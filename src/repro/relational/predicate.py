@@ -11,6 +11,13 @@ Predicates are small immutable ASTs: :class:`Comparison` leaves combined with
 :class:`And` / :class:`Or` / :class:`Not`. A predicate is *compiled* against
 a schema into a fast row -> bool callable, and exposes
 :meth:`Predicate.comparison_count` as a cost-model feature.
+
+:meth:`Predicate.compile_mask` is the vectorized counterpart used by the
+kernel layer (:mod:`repro.kernels`): it binds the same formula to a
+columns -> boolean-mask callable operating on whole stages at once. Both
+compilations decide the same rows — the mask path only changes wall-clock
+time, never the charged simulated cost (the ``SELECT_CHECK`` charge is per
+input tuple either way).
 """
 
 from __future__ import annotations
@@ -19,9 +26,14 @@ import operator
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.catalog.schema import Schema
 from repro.errors import ExpressionError
 from repro.storage.block import Row
+
+ColumnMask = Callable[[Any], np.ndarray]
+"""Vectorized predicate: a column provider (``.column(i)``, ``len()``) -> bools."""
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "<": operator.lt,
@@ -38,6 +50,10 @@ class Predicate:
 
     def compile(self, schema: Schema) -> Callable[[Row], bool]:
         """Bind attribute names to positions; returns a row predicate."""
+        raise NotImplementedError
+
+    def compile_mask(self, schema: Schema) -> ColumnMask:
+        """Bind to positions; returns a columns -> boolean-mask callable."""
         raise NotImplementedError
 
     def comparison_count(self) -> int:
@@ -83,6 +99,19 @@ class Comparison(Predicate):
         constant = self.value
         return lambda row: fn(row[idx], constant)
 
+    def compile_mask(self, schema: Schema) -> ColumnMask:
+        idx = schema.index_of(self.attr)
+        fn = _OPS[self.op]
+        if isinstance(self.value, Attr):
+            other = schema.index_of(self.value.name)
+            return lambda cols: np.asarray(
+                fn(cols.column(idx), cols.column(other)), dtype=bool
+            )
+        constant = self.value
+        return lambda cols: np.asarray(
+            fn(cols.column(idx), constant), dtype=bool
+        )
+
     def comparison_count(self) -> int:
         return 1
 
@@ -114,6 +143,10 @@ class And(Predicate):
         fns = [p.compile(schema) for p in self.parts]
         return lambda row: all(fn(row) for fn in fns)
 
+    def compile_mask(self, schema: Schema) -> ColumnMask:
+        fns = [p.compile_mask(schema) for p in self.parts]
+        return lambda cols: np.logical_and.reduce([fn(cols) for fn in fns])
+
     def comparison_count(self) -> int:
         return sum(p.comparison_count() for p in self.parts)
 
@@ -135,6 +168,10 @@ class Or(Predicate):
         fns = [p.compile(schema) for p in self.parts]
         return lambda row: any(fn(row) for fn in fns)
 
+    def compile_mask(self, schema: Schema) -> ColumnMask:
+        fns = [p.compile_mask(schema) for p in self.parts]
+        return lambda cols: np.logical_or.reduce([fn(cols) for fn in fns])
+
     def comparison_count(self) -> int:
         return sum(p.comparison_count() for p in self.parts)
 
@@ -152,6 +189,10 @@ class Not(Predicate):
         fn = self.part.compile(schema)
         return lambda row: not fn(row)
 
+    def compile_mask(self, schema: Schema) -> ColumnMask:
+        fn = self.part.compile_mask(schema)
+        return lambda cols: ~fn(cols)
+
     def comparison_count(self) -> int:
         return self.part.comparison_count()
 
@@ -165,6 +206,9 @@ class TruePredicate(Predicate):
 
     def compile(self, schema: Schema) -> Callable[[Row], bool]:
         return lambda row: True
+
+    def compile_mask(self, schema: Schema) -> ColumnMask:
+        return lambda cols: np.ones(len(cols), dtype=bool)
 
     def comparison_count(self) -> int:
         return 0

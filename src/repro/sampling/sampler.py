@@ -34,7 +34,7 @@ class BlockSampler:
     @property
     def drawn_block_ids(self) -> list[int]:
         """The block ids handed out so far, in draw order (SAMPLE-SET)."""
-        return [int(i) for i in self._order[: self._next]]
+        return self._order[: self._next].tolist()
 
     @property
     def remaining_blocks(self) -> int:
@@ -66,7 +66,7 @@ class BlockSampler:
             )
         ids = self._order[self._next : self._next + n_blocks]
         self._next += n_blocks
-        return [int(i) for i in ids]
+        return ids.tolist()
 
 
 def blocks_for_fraction(relation: HeapFile, fraction: float) -> int:
