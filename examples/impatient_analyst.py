@@ -55,7 +55,7 @@ def build_sales_database(seed: int = 23) -> Database:
 
 def explore(db: Database, name: str, query, quota: float, target: float) -> None:
     print(f"> {name}   (quota {quota:g}s, stop at ±{target:.0%})")
-    result = db.count_estimate(
+    result = db.estimate(
         query,
         quota=quota,
         strategy=OneAtATimeInterval(d_beta=24),

@@ -60,7 +60,7 @@ def main() -> None:
     for name, query in queries.items():
         exact, exact_cost = db.count_timed(query)
         quota = exact_cost / 10  # give the estimator a tenth of the time
-        result = db.count_estimate(
+        result = db.estimate(
             query, quota=quota, strategy=OneAtATimeInterval(d_beta=24)
         )
         lo, hi = result.confidence_interval(0.95)

@@ -75,7 +75,7 @@ def main() -> None:
         errors = []
         blocks = []
         for cycle in range(CYCLES):
-            result = db.count_estimate(
+            result = db.estimate(
                 query,
                 quota=CYCLE_QUOTA,
                 strategy=OneAtATimeInterval(d_beta=24),

@@ -55,7 +55,7 @@ def main() -> None:
     # 1. Record a run in memory and narrate it from the events alone.
     # ------------------------------------------------------------------
     sink = RecordingSink()
-    result = db.count_estimate(query, quota=quota, seed=3, sink=sink)
+    result = db.estimate(query, quota=quota, seed=3, sink=sink)
 
     print(f"COUNT estimate {result.value:.0f} in {quota:g}s "
           f"({result.stages} stages, {len(sink)} trace events)\n")
@@ -86,7 +86,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     path = os.path.join(tempfile.mkdtemp(), "trace.jsonl")
     with JsonlSink(path) as jsonl:
-        db.count_estimate(query, quota=quota, seed=3, sink=jsonl)
+        db.estimate(query, quota=quota, seed=3, sink=jsonl)
         written = jsonl.events_written
 
     replayed = read_jsonl_trace(path)

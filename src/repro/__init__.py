@@ -8,13 +8,12 @@ formulas, and statistical time-control strategies.
 
 Quickstart::
 
-    from repro import Database, MachineProfile, rel, select, cmp
+    from repro import Database, MachineProfile, rel, cmp
 
     db = Database(profile=MachineProfile.sun3_60(), seed=7)
     db.create_relation("r1", [("id", "int"), ("a", "int")],
                        rows=[(i, i % 100) for i in range(10_000)])
-    result = db.count_estimate(
-        select(rel("r1"), cmp("a", "<", 50)), quota=10.0)
+    result = db.estimate(rel("r1").where(cmp("a", "<", 50)), quota=10.0)
     print(result.estimate, result.confidence_interval(0.95))
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -22,13 +21,21 @@ paper-versus-measured record of every reproduced table.
 """
 
 from repro.catalog import Attribute, AttributeType, Catalog, Schema
-from repro.core import Database, ExecutionContext, QueryResult, QuerySession
+from repro.core import (
+    DEFAULT_OPTIONS,
+    Database,
+    ExecutionContext,
+    QueryOptions,
+    QueryResult,
+    QuerySession,
+)
 from repro.costmodel import CostModel
 from repro.errors import (
     CatalogError,
     CostModelError,
     EstimationError,
     ExpressionError,
+    InjectedFault,
     QuotaExpired,
     ReproError,
     SamplingExhausted,
@@ -36,7 +43,14 @@ from repro.errors import (
     StorageError,
     TimeControlError,
 )
-from repro.estimation import AggregateSpec, Estimate, avg_of, sum_of
+from repro.estimation import AggregateSpec, Estimate, avg_of, count, sum_of
+from repro.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    FaultSalvaged,
+)
 from repro.observability import (
     JsonlSink,
     NullSink,
@@ -90,14 +104,22 @@ __all__ = [
     "CostModel",
     "Database",
     "AggregateSpec",
+    "DEFAULT_OPTIONS",
     "Estimate",
     "ErrorConstrained",
     "ExecutionContext",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSalvaged",
     "FixedFractionHeuristic",
     "HardDeadline",
+    "InjectedFault",
     "JsonlSink",
     "NullSink",
     "OneAtATimeInterval",
+    "QueryOptions",
     "QueryResult",
     "QuerySession",
     "RecordingSink",
@@ -126,6 +148,7 @@ __all__ = [
     "attr",
     "avg_of",
     "cmp",
+    "count",
     "count_exact",
     "difference",
     "expand_count",

@@ -1,7 +1,15 @@
 """Public DBMS facade and per-query sessions (system S15)."""
 
 from repro.core.database import Database
+from repro.core.options import DEFAULT_OPTIONS, QueryOptions
 from repro.core.result import QueryResult
 from repro.core.session import ExecutionContext, QuerySession
 
-__all__ = ["Database", "ExecutionContext", "QueryResult", "QuerySession"]
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "Database",
+    "ExecutionContext",
+    "QueryOptions",
+    "QueryResult",
+    "QuerySession",
+]

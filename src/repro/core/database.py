@@ -12,16 +12,17 @@ Typical use::
     db.create_relation(
         "orders", [("id", "int"), ("qty", "int")],
         rows=((i, i % 50) for i in range(10_000)))
-    result = db.count_estimate(
-        select(rel("orders"), cmp("qty", ">", 40)),
+    result = db.estimate(
+        rel("orders").where(cmp("qty", ">", 40)),
         quota=10.0,
-        strategy=OneAtATimeInterval(d_beta=24),
+        options=QueryOptions(strategy=OneAtATimeInterval(d_beta=24)),
     )
     print(result.summary())
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -29,17 +30,15 @@ import numpy as np
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Attribute, Schema
 from repro.catalog.types import AttributeType
+from repro.core.options import QueryOptions
 from repro.core.result import QueryResult
 from repro.core.session import ExecutionContext, QuerySession
-from repro.costmodel.linear import StepSpec
 from repro.costmodel.model import CostModel
 from repro.errors import ReproError
 from repro.observability.trace import NULL_SINK, TraceSink
 from repro.relational.evaluator import ExactEvaluator
 from repro.relational.expression import Expression
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE, HeapFile
-from repro.timecontrol.stopping import StoppingCriterion
-from repro.timecontrol.strategies import TimeControlStrategy
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.clock import Clock, SimulatedClock, WallClock
 from repro.timekeeping.profile import MachineProfile
@@ -130,7 +129,7 @@ class Database:
 
         ``name=None`` analyzes every relation. Required before using
         ``selectivity_source='prestored'`` or ``'hybrid'`` in
-        :meth:`count_estimate`; re-run after data changes (the maintenance
+        :meth:`estimate`; re-run after data changes (the maintenance
         burden the paper holds against the prestored approach).
         """
         from repro.statistics.stats import analyze as analyze_relation
@@ -239,135 +238,175 @@ class Database:
         self,
         expr: Expression,
         quota: float,
-        strategy: TimeControlStrategy | None = None,
-        stopping: StoppingCriterion | None = None,
-        full_fulfillment: bool = True,
-        initial_selectivities: dict[str, float] | None = None,
-        zero_fix_beta: float | None = None,
-        measure_overspend: bool = True,
-        cost_model: CostModel | None = None,
-        step_specs: dict[str, StepSpec] | None = None,
-        seed: int | None = None,
-        max_stages: int = 64,
+        options: QueryOptions | None = None,
+        *,
         aggregate: "AggregateSpec | None" = None,
-        selectivity_source: str = "runtime",
-        sink: TraceSink | None = None,
-        trace_costs: bool = False,
-        clock: Clock | None = None,
-        vectorized: bool | None = None,
+        seed: int | None = None,
+        **overrides,
     ) -> QuerySession:
         """Open a :class:`QuerySession` for one time-constrained run.
 
         The session owns every piece of per-run mutable state — the spawned
         RNG stream, the cost charger and its clock, the adaptive cost model,
         the staged plan, and the trace sink — so sessions are fully
-        independent of each other. ``sink`` receives the run's structured
-        trace (see :mod:`repro.observability`); ``trace_costs=True``
-        additionally emits one event per primitive cost charge (verbose).
+        independent of each other.
 
-        ``clock`` overrides the session's otherwise-private clock with a
-        caller-owned one, placing several sessions on a single timeline —
-        how :class:`repro.server.QueryServer` multiplexes many deadline-bound
-        queries over one simulated machine. Sessions sharing a clock must be
-        executed serially; nothing else about them is shared.
+        Configuration lives in ``options`` (a :class:`QueryOptions` bundle);
+        any option field may also be passed directly as a keyword
+        (``strategy=...``, ``sink=...``, ``fault_plan=...``) and overrides
+        the bundle. ``aggregate`` and ``seed`` identify the query and the
+        run, so they stay per-call rather than joining the bundle.
 
-        ``vectorized`` selects the execution path of the staged engine's hot
-        loops: ``True`` forces the columnar kernels (:mod:`repro.kernels`),
-        ``False`` the row-at-a-time reference path, and ``None`` (default)
-        honours the ``REPRO_KERNELS`` environment switch. Both paths charge
-        identical simulated costs — estimates, traces, and charged times are
-        bit-for-bit equal; only wall-clock speed differs.
+        Notable options: ``clock`` places several sessions on one shared
+        timeline (how :class:`repro.server.QueryServer` multiplexes
+        deadline-bound queries over one simulated machine — such sessions
+        must run serially); ``vectorized`` selects the columnar kernels vs
+        the row-at-a-time reference path (both charge bit-identical
+        simulated costs); ``trace_costs=True`` emits one event per primitive
+        cost charge; ``fault_plan`` arms deterministic fault injection
+        (see :mod:`repro.faults`).
 
         Call :meth:`QuerySession.run` to execute; or use the
-        :meth:`count_estimate` / :meth:`sum_estimate` / :meth:`avg_estimate`
-        one-shot conveniences.
+        :meth:`estimate` one-shot convenience.
         """
-        if selectivity_source not in ("runtime", "hybrid", "prestored"):
-            raise ReproError(
-                f"selectivity_source must be 'runtime', 'hybrid' or "
-                f"'prestored', got {selectivity_source!r}"
-            )
+        opts = (options if options is not None else QueryOptions()).replace(
+            **overrides
+        )
         hint_provider = None
-        if selectivity_source in ("hybrid", "prestored"):
+        if opts.selectivity_source in ("hybrid", "prestored"):
             from repro.statistics.prestored import SelectivityHinter
 
             hinter = SelectivityHinter(self.statistics, self.catalog)
             hinter.require_statistics(expr)
             hint_provider = hinter.hint
 
-        resolved_sink = sink if sink is not None else NULL_SINK
+        resolved_sink = opts.sink if opts.sink is not None else NULL_SINK
         rng = self._spawn_rng(seed)
+        injector = None
+        if opts.fault_plan is not None and opts.fault_plan.active:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector.for_session(
+                opts.fault_plan, rng, resolved_sink
+            )
         context = ExecutionContext(
             rng=rng,
             charger=self._make_charger(
-                rng, sink=resolved_sink, trace_costs=trace_costs, clock=clock
+                rng,
+                sink=resolved_sink,
+                trace_costs=opts.trace_costs,
+                clock=opts.clock,
             ),
-            cost_model=cost_model
+            cost_model=opts.cost_model
             or CostModel(
-                specs=step_specs
-                if step_specs is not None
+                specs=opts.step_specs
+                if opts.step_specs is not None
                 else self._default_specs()
             ),
             sink=resolved_sink,
+            injector=injector,
         )
         return QuerySession(
             expr,
             self.catalog,
             quota,
             context,
-            strategy=strategy,
-            stopping=stopping,
-            measure_overspend=measure_overspend,
-            max_stages=max_stages,
+            strategy=opts.strategy,
+            stopping=opts.stopping,
+            measure_overspend=opts.measure_overspend,
+            max_stages=opts.max_stages,
             aggregate=aggregate,
-            block_size=self.block_size,
-            full_fulfillment=full_fulfillment,
-            initial_selectivities=initial_selectivities,
-            zero_fix_beta=zero_fix_beta,
+            block_size=opts.block_size or self.block_size,
+            full_fulfillment=opts.full_fulfillment,
+            initial_selectivities=opts.initial_selectivities,
+            zero_fix_beta=opts.zero_fix_beta,
             hint_provider=hint_provider,
-            pin_selectivities=selectivity_source == "prestored",
-            vectorized=vectorized,
+            pin_selectivities=opts.selectivity_source == "prestored",
+            vectorized=opts.vectorized,
         )
 
+    def estimate(
+        self,
+        expr: Expression,
+        agg: "AggregateSpec | None" = None,
+        *,
+        quota: float,
+        seed: int | None = None,
+        options: QueryOptions | None = None,
+        **overrides,
+    ) -> QueryResult:
+        """Estimate ``agg(E)`` within ``quota`` seconds — the one entrypoint.
+
+        ``agg`` is an :class:`~repro.estimation.aggregates.AggregateSpec`
+        built with :func:`~repro.estimation.aggregates.count` (the default),
+        :func:`~repro.estimation.aggregates.sum_of`, or
+        :func:`~repro.estimation.aggregates.avg_of`. Configuration comes
+        from ``options`` (a :class:`QueryOptions`) and/or direct keyword
+        overrides; ``seed`` pins the run's RNG stream for replay::
+
+            db.estimate(expr, quota=10.0)                       # COUNT
+            db.estimate(expr, sum_of("qty"), quota=10.0,
+                        options=QueryOptions(selectivity_source="hybrid"))
+
+        ``measure_overspend=True`` (the default) reproduces ERAM's
+        measurement mode — an overspending stage runs to completion and is
+        reported; set it ``False`` for live hard-deadline semantics
+        (mid-stage interrupt). Equivalent to
+        ``open_session(expr, quota, options, aggregate=agg, seed=seed,
+        **overrides).run()``.
+        """
+        if "aggregate" in overrides:
+            spec = overrides.pop("aggregate")
+            if agg is not None and spec is not None and spec is not agg:
+                raise ReproError(
+                    "pass the aggregate once: either positionally (agg) "
+                    "or as aggregate=, not both"
+                )
+            if agg is None:
+                agg = spec
+        return self.open_session(
+            expr, quota, options, aggregate=agg, seed=seed, **overrides
+        ).run()
+
+    # ------------------------------------------------------------------
+    # Deprecated one-shot conveniences (use :meth:`estimate`)
+    # ------------------------------------------------------------------
     def count_estimate(
         self, expr: Expression, quota: float, **kwargs
     ) -> QueryResult:
-        """Estimate COUNT(E) within ``quota`` seconds (Figure 3.1).
-
-        Parameters mirror the prototype's implementation decisions
-        (Figure 3.2): ``strategy`` defaults to One-at-a-Time-Interval,
-        ``stopping`` to the hard time constraint, sampling is the cluster
-        plan with full fulfillment unless ``full_fulfillment=False``.
-        ``measure_overspend=True`` reproduces ERAM's measurement mode (an
-        overspending stage runs to completion and is reported); set it False
-        for live hard-deadline semantics (mid-stage interrupt). Accepts
-        every keyword of :meth:`open_session`; equivalent to
-        ``open_session(expr, quota, **kwargs).run()``.
-        """
-        return self.open_session(expr, quota, **kwargs).run()
+        """Deprecated: use ``estimate(expr, quota=quota, ...)``."""
+        warnings.warn(
+            "Database.count_estimate() is deprecated; use "
+            "Database.estimate(expr, quota=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimate(expr, quota=quota, **kwargs)
 
     def sum_estimate(
         self, expr: Expression, attribute: str, quota: float, **kwargs
     ) -> QueryResult:
-        """Estimate SUM(attribute) over E's output within ``quota`` seconds.
-
-        The paper restricts f(E) to COUNT; this is the natural extension
-        over the same point-space estimators (see
-        :mod:`repro.estimation.aggregates`). Accepts every keyword of
-        :meth:`open_session` except ``aggregate``.
-        """
+        """Deprecated: use ``estimate(expr, sum_of(attr), quota=quota)``."""
         from repro.estimation.aggregates import sum_of
 
-        return self.open_session(
-            expr, quota, aggregate=sum_of(attribute), **kwargs
-        ).run()
+        warnings.warn(
+            "Database.sum_estimate() is deprecated; use "
+            "Database.estimate(expr, sum_of(attribute), quota=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimate(expr, sum_of(attribute), quota=quota, **kwargs)
 
     def avg_estimate(
         self, expr: Expression, attribute: str, quota: float, **kwargs
     ) -> QueryResult:
-        """Estimate AVG(attribute) over E's output within ``quota`` seconds."""
+        """Deprecated: use ``estimate(expr, avg_of(attr), quota=quota)``."""
         from repro.estimation.aggregates import avg_of
 
-        return self.open_session(
-            expr, quota, aggregate=avg_of(attribute), **kwargs
-        ).run()
+        warnings.warn(
+            "Database.avg_estimate() is deprecated; use "
+            "Database.estimate(expr, avg_of(attribute), quota=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimate(expr, avg_of(attribute), quota=quota, **kwargs)

@@ -1,0 +1,91 @@
+"""Per-query configuration — one frozen bundle instead of kwarg sprawl.
+
+:class:`QueryOptions` collects every tuning knob a time-constrained run
+accepts (strategy, stopping criterion, sampling controls, cost-model
+overrides, tracing, clock sharing, vectorization, fault plan) into a single
+immutable value that can be built once and reused across queries::
+
+    opts = QueryOptions(strategy=OneAtATimeInterval(d_beta=24),
+                        selectivity_source="hybrid")
+    result = db.estimate(expr, quota=10.0, options=opts)
+    result = db.estimate(expr, quota=5.0, options=opts.replace(trace_costs=True))
+
+Per-call keywords passed to :meth:`Database.estimate` /
+:meth:`Database.open_session` override the corresponding option field, so
+an options bundle is a set of defaults, not a straitjacket. ``aggregate``
+and ``seed`` are deliberately *not* options: they identify the query and
+the run rather than configure the machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.costmodel.linear import StepSpec
+    from repro.costmodel.model import CostModel
+    from repro.faults.plan import FaultPlan
+    from repro.observability.trace import TraceSink
+    from repro.timecontrol.stopping import StoppingCriterion
+    from repro.timecontrol.strategies import TimeControlStrategy
+    from repro.timekeeping.clock import Clock
+
+SELECTIVITY_SOURCES = ("runtime", "hybrid", "prestored")
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Immutable per-query configuration (see module docs).
+
+    Every field has the same meaning it had as an ``open_session`` keyword;
+    ``None`` means "use the database's / engine's default". ``fault_plan``
+    attaches a :class:`repro.faults.FaultPlan` so the run injects
+    deterministic, seed-replayable faults (see :mod:`repro.faults`).
+    """
+
+    strategy: "TimeControlStrategy | None" = None
+    stopping: "StoppingCriterion | None" = None
+    full_fulfillment: bool = True
+    initial_selectivities: dict[str, float] | None = None
+    zero_fix_beta: float | None = None
+    measure_overspend: bool = True
+    cost_model: "CostModel | None" = None
+    step_specs: "dict[str, StepSpec] | None" = None
+    max_stages: int = 64
+    selectivity_source: str = "runtime"
+    sink: "TraceSink | None" = None
+    trace_costs: bool = False
+    clock: "Clock | None" = None
+    vectorized: bool | None = None
+    block_size: int | None = None
+    fault_plan: "FaultPlan | None" = None
+
+    def __post_init__(self) -> None:
+        if self.selectivity_source not in SELECTIVITY_SOURCES:
+            raise ReproError(
+                f"selectivity_source must be one of {SELECTIVITY_SOURCES}, "
+                f"got {self.selectivity_source!r}"
+            )
+        if self.max_stages < 1:
+            raise ReproError(f"max_stages must be >= 1: {self.max_stages}")
+        if self.block_size is not None and self.block_size <= 0:
+            raise ReproError(f"block_size must be positive: {self.block_size}")
+
+    def replace(self, **changes) -> "QueryOptions":
+        """A copy with the given fields changed (unknown names rejected)."""
+        field_names = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(changes) - field_names)
+        if unknown:
+            raise ReproError(
+                f"unknown query option(s): {', '.join(unknown)}; "
+                f"valid options: {', '.join(sorted(field_names))}"
+            )
+        return dataclasses.replace(self, **changes)
+
+
+DEFAULT_OPTIONS = QueryOptions()
+"""The all-defaults bundle (shared safely — the dataclass is frozen)."""

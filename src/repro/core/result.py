@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.errors import EstimationError
 from repro.estimation.estimate import Estimate
+from repro.faults.injector import FaultRecord
 from repro.timecontrol.executor import RunReport
 
 
@@ -78,6 +79,22 @@ class QueryResult:
     @property
     def quota(self) -> float:
         return self.report.quota
+
+    # -- fault salvage (see :mod:`repro.faults`) -------------------------
+    @property
+    def faults(self) -> list[FaultRecord]:
+        """Faults injected and salvaged during the run (empty if none)."""
+        return self.report.faults
+
+    @property
+    def faulted(self) -> bool:
+        return self.report.faulted
+
+    @property
+    def degraded(self) -> bool:
+        """True when injected faults ended the run early; the estimate is
+        the last consistent pre-fault one (possibly ``None``)."""
+        return self.report.degraded
 
     def relative_error(self, true_count: float) -> float:
         """|estimate − truth| / truth (math.inf when truth is zero)."""

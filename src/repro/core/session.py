@@ -11,9 +11,9 @@ traceable, and safe to fan out across processes (see
 :mod:`repro.experiments.runner`).
 
 :class:`Database` opens sessions (:meth:`Database.open_session`) and its
-``count_estimate`` / ``sum_estimate`` / ``avg_estimate`` conveniences are
-one-line wrappers over ``open_session(...).run()``. Use a session directly
-when you want to inspect the machinery before or after the run::
+``estimate`` entrypoint is a one-line wrapper over
+``open_session(...).run()``. Use a session directly when you want to
+inspect the machinery before or after the run::
 
     from repro.observability import RecordingSink
 
@@ -26,6 +26,7 @@ when you want to inspect the machinery before or after the run::
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.costmodel.model import CostModel
 from repro.engine.plan import StagedPlan
 from repro.errors import ReproError
 from repro.estimation.aggregates import AggregateSpec
+from repro.faults.injector import FaultInjector
 from repro.observability.trace import NULL_SINK, TraceSink
 from repro.relational.expression import Expression
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE
@@ -43,6 +45,8 @@ from repro.timecontrol.executor import RunReport, TimeConstrainedExecutor
 from repro.timecontrol.stopping import StoppingCriterion
 from repro.timecontrol.strategies import OneAtATimeInterval, TimeControlStrategy
 from repro.timekeeping.charger import CostCharger
+
+_session_counter = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,7 @@ class ExecutionContext:
     charger: CostCharger
     cost_model: CostModel
     sink: TraceSink = field(default_factory=lambda: NULL_SINK)
+    injector: FaultInjector | None = None
 
 
 class QuerySession:
@@ -93,6 +98,7 @@ class QuerySession:
         self.expr = expr
         self.quota = quota
         self.context = context
+        self.label = f"session-{next(_session_counter)}"
         self.strategy = (
             strategy if strategy is not None else OneAtATimeInterval(d_beta=24.0)
         )
@@ -111,6 +117,7 @@ class QuerySession:
             pin_selectivities=pin_selectivities,
             sink=context.sink,
             vectorized=vectorized,
+            injector=context.injector,
         )
         self.executor = TimeConstrainedExecutor(
             self.plan,
@@ -165,5 +172,12 @@ class QuerySession:
                 "this QuerySession already ran; open a new session "
                 "(sessions are single-use so runs stay independent)"
             )
-        self._result = QueryResult(report=self.executor.run(self.quota))
+        try:
+            report = self.executor.run(self.quota)
+        except ReproError as exc:
+            # Anything that escapes the executor carries where it happened.
+            raise exc.with_context(
+                stage=self.plan.stages_completed + 1, session=self.label
+            )
+        self._result = QueryResult(report=report)
         return self._result

@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import compress
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from repro.catalog.schema import Schema
 from repro.costmodel import steps as step_names
@@ -61,6 +61,9 @@ from repro.storage.heapfile import HeapFile
 from repro.storage.spool import Spool, SpoolFile
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.profile import CostKind
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 SelProvider = Callable[[SelectivityTracker, int, int], float]
 """Strategy hook: (tracker, candidate_new_points, space_points) -> sel used."""
@@ -119,6 +122,10 @@ class StagedNode(Protocol):
 
     def iter_nodes(self) -> "list[StagedNode]": ...
 
+    def snapshot(self) -> dict: ...
+
+    def restore(self, token: dict) -> None: ...
+
 
 class _NodeBase:
     """Shared region bookkeeping over the base relations under a node."""
@@ -134,12 +141,14 @@ class _NodeBase:
         full_fulfillment: bool,
         spool: "Spool | None" = None,
         vectorized: bool = False,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.charger = charger
         self.cost_model = cost_model
         self.block_size = block_size
         self.full_fulfillment = full_fulfillment
         self.vectorized = vectorized
+        self.injector = injector
         self.spool = spool if spool is not None else Spool(block_size)
         self.stage = 0  # completed stages
         self.cum_out_tuples = 0
@@ -198,6 +207,32 @@ class _NodeBase:
                 f"stage {stage} requested but node has completed {self.stage}"
             )
 
+    # -- salvage support (fault injection) -------------------------------
+    def snapshot(self) -> dict:
+        """This node's logical estimator state, as a rollback token.
+
+        Captured by :meth:`repro.engine.plan.StagedPlan.snapshot` before a
+        stage attempt when a fault injector is active; on an injected
+        fault, :meth:`restore` returns the node to the last consistent
+        stage boundary (charged time stays spent — only estimator state
+        rolls back). Subclasses extend the dict with their own fields.
+        """
+        return {
+            "stage": self.stage,
+            "cum_out_tuples": self.cum_out_tuples,
+            "points_so_far": self.points_so_far,
+            "stage_columns": self.stage_columns,
+            "tracker": self.tracker.snapshot() if self.tracker else None,
+        }
+
+    def restore(self, token: dict) -> None:
+        self.stage = token["stage"]
+        self.cum_out_tuples = token["cum_out_tuples"]
+        self.points_so_far = token["points_so_far"]
+        self.stage_columns = token["stage_columns"]
+        if self.tracker is not None:
+            self.tracker.restore(token["tracker"])
+
 
 class StagedScan(_NodeBase):
     """Shared sampling scan of one base relation.
@@ -218,9 +253,16 @@ class StagedScan(_NodeBase):
         full_fulfillment: bool,
         spool: "Spool | None" = None,
         vectorized: bool = False,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         super().__init__(
-            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+            charger,
+            cost_model,
+            block_size,
+            full_fulfillment,
+            spool,
+            vectorized,
+            injector,
         )
         self.relation = relation
         self.sampler = sampler
@@ -256,7 +298,9 @@ class StagedScan(_NodeBase):
         d = self._blocks_for(fraction)
         with self.charger.measure() as meter:
             block_ids = self.sampler.draw(d)
-            rows = self.relation.read_blocks(block_ids, self.charger)
+            rows = self.relation.read_blocks(
+                block_ids, self.charger, self.injector
+            )
         if d:
             self.cost_model.observe(step_names.SCAN_READ, [d, 1.0], meter.elapsed)
         self._stage_rows = rows
@@ -284,6 +328,21 @@ class StagedScan(_NodeBase):
         new_tuples = min(new_tuples, self.relation.tuple_count - self.cum_tuples)
         return ctx.store(self, StagePrediction(seconds, new_tuples, new_tuples))
 
+    def snapshot(self) -> dict:
+        token = super().snapshot()
+        token["sampler"] = self.sampler.snapshot()
+        token["cum_tuples"] = self.cum_tuples
+        token["new_tuples"] = self.new_tuples
+        token["stage_rows"] = self._stage_rows
+        return token
+
+    def restore(self, token: dict) -> None:
+        super().restore(token)
+        self.sampler.restore(token["sampler"])
+        self.cum_tuples = token["cum_tuples"]
+        self.new_tuples = token["new_tuples"]
+        self._stage_rows = token["stage_rows"]
+
 
 class StagedSelect(_NodeBase):
     """Staged selection (Figure 4.3 / equation 4.1).
@@ -307,9 +366,16 @@ class StagedSelect(_NodeBase):
         full_fulfillment: bool,
         spool: "Spool | None" = None,
         vectorized: bool = False,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         super().__init__(
-            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+            charger,
+            cost_model,
+            block_size,
+            full_fulfillment,
+            spool,
+            vectorized,
+            injector,
         )
         self.child = child
         self.schema = child.schema
@@ -413,9 +479,16 @@ class _StagedBinary(_NodeBase):
         full_fulfillment: bool,
         spool: "Spool | None" = None,
         vectorized: bool = False,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         super().__init__(
-            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+            charger,
+            cost_model,
+            block_size,
+            full_fulfillment,
+            spool,
+            vectorized,
+            injector,
         )
         self.left = left
         self.right = right
@@ -650,6 +723,26 @@ class _StagedBinary(_NodeBase):
             self._right_sorted.merge_in(right_keys, sorted_right, stage)
         return out, left_file, right_file
 
+    # Salvage support ----------------------------------------------------
+    def snapshot(self) -> dict:
+        token = super().snapshot()
+        token["left_runs"] = len(self._left_runs)
+        token["right_runs"] = len(self._right_runs)
+        token["cum_left_in"] = self.cum_left_in
+        token["cum_right_in"] = self.cum_right_in
+        token["left_sorted"] = self._left_sorted.snapshot()
+        token["right_sorted"] = self._right_sorted.snapshot()
+        return token
+
+    def restore(self, token: dict) -> None:
+        super().restore(token)
+        del self._left_runs[token["left_runs"] :]
+        del self._right_runs[token["right_runs"] :]
+        self.cum_left_in = token["cum_left_in"]
+        self.cum_right_in = token["cum_right_in"]
+        self._left_sorted.restore(token["left_sorted"])
+        self._right_sorted.restore(token["right_sorted"])
+
     # Prediction ----------------------------------------------------------
     def predict(self, ctx: PredictContext) -> StagePrediction:
         cached = ctx.cached(self)
@@ -788,9 +881,16 @@ class StagedProject(_NodeBase):
         full_fulfillment: bool,
         spool: "Spool | None" = None,
         vectorized: bool = False,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         super().__init__(
-            charger, cost_model, block_size, full_fulfillment, spool, vectorized
+            charger,
+            cost_model,
+            block_size,
+            full_fulfillment,
+            spool,
+            vectorized,
+            injector,
         )
         self.child = child
         self.attrs = tuple(attrs)
@@ -876,3 +976,17 @@ class StagedProject(_NodeBase):
             + self.cost_model.predict(step_names.PROJECT_DEDUPE, [n, pages, 1.0])
         )
         return ctx.store(self, StagePrediction(seconds, out, new_points))
+
+    def snapshot(self) -> dict:
+        token = super().snapshot()
+        # The occupancy table is mutated in place per stage, so it must be
+        # copied. Snapshots only happen under an active fault injector, so
+        # unfaulted runs never pay this.
+        token["occupancy"] = dict(self.occupancy)
+        token["observed_child_tuples"] = self.observed_child_tuples
+        return token
+
+    def restore(self, token: dict) -> None:
+        super().restore(token)
+        self.occupancy = dict(token["occupancy"])
+        self.observed_child_tuples = token["observed_child_tuples"]

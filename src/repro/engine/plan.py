@@ -16,6 +16,7 @@ and exposes the three operations the time-constrained executor needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -67,6 +68,9 @@ from repro.sampling.point_space import PointSpace
 from repro.sampling.sampler import BlockSampler
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE
 from repro.timekeeping.charger import CostCharger
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 DEFAULT_INITIAL_SELECTIVITY = {
     "select": 1.0,
@@ -163,11 +167,13 @@ class StagedPlan:
         pin_selectivities: bool = False,
         sink: TraceSink | None = None,
         vectorized: bool | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.expr = expr
         # None → honour the process-wide REPRO_KERNELS switch (default on).
         self.vectorized = kernels_enabled() if vectorized is None else vectorized
         self.sink: TraceSink = sink if sink is not None else NULL_SINK
+        self.injector = injector
         self.aggregate = aggregate
         self._hint_provider = hint_provider
         self._pin_selectivities = pin_selectivities
@@ -235,6 +241,7 @@ class StagedPlan:
             full_fulfillment=self.full_fulfillment,
             spool=self.spool,
             vectorized=self.vectorized,
+            injector=self.injector,
         )
 
     def _next_label(self, kind: str) -> str:
@@ -450,6 +457,48 @@ class StagedPlan:
         )
         self.history.append(stats)
         return stats
+
+    # ------------------------------------------------------------------
+    # Salvage support (fault injection)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the plan's full logical state at a stage boundary.
+
+        Taken by the executor before each stage attempt when a fault
+        injector is active. Everything an estimator reads rolls back on
+        :meth:`restore` — node stages and counters, sampler cursors,
+        selectivity observations, consolidated runs, spool files, term
+        moments — while everything *physical* stays: charged time, the
+        cost model's observations, and already-emitted trace events are
+        the true record of work the fault wasted.
+        """
+        nodes: dict[int, tuple] = {}
+        for term in self.terms:
+            for node in term.root.iter_nodes():
+                if id(node) not in nodes:  # scans/subtrees are shared
+                    nodes[id(node)] = (node, node.snapshot())
+        return {
+            "stages_completed": self.stages_completed,
+            "history": len(self.history),
+            "spool": self.spool.snapshot(),
+            "nodes": list(nodes.values()),
+            "moments": [
+                (t.moments.ones, t.moments.total, t.moments.total_sq)
+                for t in self.terms
+            ],
+        }
+
+    def restore(self, token: dict) -> None:
+        """Roll back to a :meth:`snapshot` token (discard a faulted stage)."""
+        for node, node_token in token["nodes"]:
+            node.restore(node_token)
+        self.spool.restore(token["spool"])
+        self.stages_completed = token["stages_completed"]
+        del self.history[token["history"] :]
+        for term, (ones, total, total_sq) in zip(self.terms, token["moments"]):
+            term.moments.ones = ones
+            term.moments.total = total
+            term.moments.total_sq = total_sq
 
     def estimate(self) -> Estimate:
         """Current combined f(E) estimate (per the configured aggregate)."""

@@ -12,7 +12,36 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Every instance carries optional *run context*: the staged-execution
+    ``stage`` the error surfaced in and a free-form ``session`` label.
+    Layers that know the context attach it with :meth:`with_context` as the
+    error propagates, so a fault that does reach user code names where in
+    the run it happened instead of arriving bare.
+    """
+
+    stage: int | None = None
+    session: str | None = None
+
+    def with_context(
+        self, stage: int | None = None, session: str | None = None
+    ) -> "ReproError":
+        """Attach run context (idempotent: first writer wins); returns self."""
+        if stage is not None and self.stage is None:
+            self.stage = stage
+        if session is not None and self.session is None:
+            self.session = session
+        return self
+
+    def context_suffix(self) -> str:
+        """`` (stage N, session S)``-style suffix for messages, or ``""``."""
+        parts = []
+        if self.stage is not None:
+            parts.append(f"stage {self.stage}")
+        if self.session is not None:
+            parts.append(f"session {self.session}")
+        return f" ({', '.join(parts)})" if parts else ""
 
 
 class SchemaError(ReproError):
@@ -24,7 +53,47 @@ class CatalogError(ReproError):
 
 
 class StorageError(ReproError):
-    """A storage-layer invariant was violated (bad block id, overfull block)."""
+    """A storage-layer invariant was violated (bad block id, overfull block).
+
+    Carries the structured location of the failure — ``relation`` and
+    ``block_id`` — so handlers (and the fault-salvage machinery) can log
+    and retry without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        relation: str | None = None,
+        block_id: int | None = None,
+        stage: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.relation = relation
+        self.block_id = block_id
+        if stage is not None:
+            self.stage = stage
+
+
+class InjectedFault(StorageError):
+    """A deterministic fault injected by :mod:`repro.faults`.
+
+    A :class:`StorageError` subclass so production salvage paths treat it
+    exactly like a real storage hiccup; ``fault_kind`` names the injected
+    failure mode (``"read_error"``) for assertions and traces.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        fault_kind: str = "read_error",
+        relation: str | None = None,
+        block_id: int | None = None,
+        stage: int | None = None,
+    ) -> None:
+        super().__init__(
+            message, relation=relation, block_id=block_id, stage=stage
+        )
+        self.fault_kind = fault_kind
 
 
 class ExpressionError(ReproError):

@@ -6,6 +6,7 @@ from repro.estimation.aggregates import (
     StreamingMoments,
     avg_from_sum_count,
     avg_of,
+    count,
     srs_sum_estimate,
     sum_of,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "chao1",
     "cluster_count_estimate",
     "combine_term_estimates",
+    "count",
     "good_turing_coverage",
     "goodman_estimate",
     "goodman_raw",

@@ -176,6 +176,11 @@ class AggregateSpec:
 COUNT = AggregateSpec("count")
 
 
+def count() -> AggregateSpec:
+    """``COUNT(*)`` over the expression's output tuples (the default)."""
+    return COUNT
+
+
 def sum_of(attribute: str) -> AggregateSpec:
     """``SUM(attribute)`` over the expression's output tuples."""
     return AggregateSpec("sum", attribute)

@@ -93,6 +93,19 @@ class SelectivityTracker:
                 )
             )
 
+    def snapshot(self) -> int:
+        """Opaque rollback token: the observation count."""
+        return len(self.observations)
+
+    def restore(self, token: int) -> None:
+        """Forget observations recorded after a :meth:`snapshot` token."""
+        if not 0 <= token <= len(self.observations):
+            raise EstimationError(
+                f"{self.label}: cannot restore to {token} observations "
+                f"(has {len(self.observations)})"
+            )
+        del self.observations[token:]
+
     @property
     def total_tuples(self) -> int:
         return sum(o.tuples for o in self.observations)

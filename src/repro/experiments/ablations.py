@@ -113,7 +113,7 @@ def ablation_adaptive_cost(runs: int = 100, seed: int = 0) -> Table:
         results = []
         for i in range(runs):
             results.append(
-                setup.database.count_estimate(
+                setup.database.estimate(
                     setup.query,
                     quota=setup.quota,
                     strategy=OneAtATimeInterval(d_beta=12.0),
@@ -327,7 +327,7 @@ def ablation_selectivity_sources(runs: int = 100, seed: int = 0) -> Table:
         results = []
         for i in range(runs):
             results.append(
-                setup.database.count_estimate(
+                setup.database.estimate(
                     setup.query,
                     quota=setup.quota,
                     strategy=OneAtATimeInterval(d_beta=12.0),
@@ -445,7 +445,7 @@ def ablation_stopping(runs: int = 100, seed: int = 0) -> Table:
         results = []
         for i in range(runs):
             results.append(
-                setup.database.count_estimate(
+                setup.database.estimate(
                     setup.query,
                     quota=setup.quota,
                     strategy=OneAtATimeInterval(d_beta=24.0),

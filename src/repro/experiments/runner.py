@@ -94,7 +94,7 @@ def _run_one(
     """
     strategy = strategy_factory()
     try:
-        return setup.database.count_estimate(
+        return setup.database.estimate(
             setup.query,
             quota=setup.quota,
             strategy=strategy,

@@ -1,0 +1,32 @@
+"""Deterministic, seed-replayable fault injection.
+
+The paper's promise is that a time-constrained query returns *an* answer at
+the deadline; this package supplies the adversary that promise is tested
+against. A :class:`FaultPlan` declares, per session, the probability (or
+fixed schedule) of injected block-read errors, slow reads that charge extra
+simulated time, and stage overruns. A :class:`FaultInjector` executes the
+plan from its own RNG stream — derived from the session RNG's seed material
+without consuming the session stream — so a faulted run is bit-identical
+given the same seeds, and a plan with zero probabilities changes nothing at
+all (no injector is even built).
+
+Faults surface as :class:`repro.errors.InjectedFault` (a ``StorageError``)
+inside the storage layer; the staged executor salvages them per stage
+(discard the partial stage, keep the last consistent estimate, charge the
+wasted time) and :class:`repro.server.QueryServer` retries or degrades.
+Every injected and salvaged fault emits a registered trace event
+(:class:`FaultInjected`, :class:`FaultSalvaged`).
+"""
+
+from repro.faults.events import FaultInjected, FaultSalvaged
+from repro.faults.injector import FaultInjector, FaultRecord, derive_fault_rng
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSalvaged",
+    "derive_fault_rng",
+]

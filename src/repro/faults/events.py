@@ -1,0 +1,44 @@
+"""Registered trace events of the fault-injection subsystem.
+
+Both events go through :func:`repro.observability.register_event_type`, so
+JSONL traces of chaos runs round-trip into typed events exactly like the
+core run loop's and the server's do. One injected fault always produces one
+:class:`FaultInjected`; if the executor recovers it (per-stage salvage) a
+matching :class:`FaultSalvaged` follows with the wasted time and the action
+taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.observability.trace import TraceEvent, register_event_type
+
+
+@register_event_type
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The injector fired: a read error, slow read, or stage overrun."""
+
+    kind: ClassVar[str] = "fault_injected"
+    stage: int = 0
+    fault_kind: str = ""
+    relation: str = ""
+    block_id: int | None = None
+    penalty_seconds: float = 0.0
+    scheduled: bool = False
+    clock: float = 0.0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class FaultSalvaged(TraceEvent):
+    """The executor recovered an injected fault at a stage boundary."""
+
+    kind: ClassVar[str] = "fault_salvaged"
+    stage: int = 0
+    fault_kind: str = ""
+    wasted_seconds: float = 0.0
+    action: str = ""  # "retry" | "finish"
+    clock: float = 0.0

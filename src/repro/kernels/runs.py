@@ -160,6 +160,20 @@ class SortedRun:
     def __len__(self) -> int:
         return len(self.rows)
 
+    def snapshot(self) -> tuple:
+        """Opaque rollback token (cheap: references, not copies).
+
+        Safe because :meth:`merge_in` *replaces* ``key_cols``/``rows``/
+        ``stages`` with fresh arrays rather than mutating them in place;
+        only ``lengths`` is appended to, so it alone needs copying.
+        """
+        return (self.key_cols, self.rows, self.stages, list(self.lengths))
+
+    def restore(self, token: tuple) -> None:
+        """Roll back to a :meth:`snapshot` token."""
+        self.key_cols, self.rows, self.stages, lengths = token
+        self.lengths = list(lengths)
+
     def key_columns_or_empty(
         self, template: Sequence[np.ndarray]
     ) -> list[np.ndarray]:

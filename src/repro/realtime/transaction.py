@@ -170,12 +170,12 @@ class TransactionScheduler:
             if quota < self.min_query_quota:
                 outcome.aborted_after = task.name
                 break
-            result = self.database.count_estimate(
+            result = self.database.estimate(
                 task.expr,
+                task.aggregate,
                 quota=quota,
                 strategy=self.strategy_factory(),
                 stopping=self.stopping,
-                aggregate=task.aggregate,
                 seed=None if seed is None else seed + index,
                 **estimate_kwargs,
             )

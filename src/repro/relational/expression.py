@@ -22,6 +22,11 @@ the dataclass constructors; they read like the algebra::
 
     expr = join(select(rel("orders"), cmp("qty", ">", 10)), rel("parts"),
                 on=[("part_id", "pid")])
+
+or chain the equivalent fluent methods, which build the identical tree::
+
+    expr = (rel("orders").where(cmp("qty", ">", 10))
+            .join(rel("parts"), on=[("part_id", "pid")]))
 """
 
 from __future__ import annotations
@@ -72,6 +77,44 @@ class Expression:
     def operator_count(self) -> int:
         """Number of operator nodes (excluding relation references)."""
         return sum(1 for n in self.walk() if not isinstance(n, RelationRef))
+
+    # ------------------------------------------------------------------
+    # Fluent construction — chainable equivalents of the module builders
+    # ------------------------------------------------------------------
+    def where(self, predicate: Predicate) -> "Select":
+        """``select(self, predicate)``, chainable::
+
+            rel("orders").where(cmp("qty", ">", 40))
+        """
+        return Select(self, predicate)
+
+    def project(self, *attrs: str) -> "Project":
+        """``project(self, attrs)`` with attributes as varargs."""
+        if len(attrs) == 1 and not isinstance(attrs[0], str):
+            attrs = tuple(attrs[0])  # accept a single sequence too
+        return Project(self, tuple(attrs))
+
+    def join(
+        self,
+        other: "Expression",
+        on: Sequence[tuple[str, str] | str] | str,
+    ) -> "Join":
+        """``join(self, other, on)``; ``on`` items as in the builder."""
+        if isinstance(on, str):
+            on = (on,)
+        pairs = tuple(
+            (p, p) if isinstance(p, str) else (p[0], p[1]) for p in on
+        )
+        return Join(self, other, pairs)
+
+    def union(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Expression") -> "Difference":
+        return Difference(self, other)
+
+    def intersect(self, other: "Expression") -> "Intersect":
+        return Intersect(self, other)
 
 
 @dataclass(frozen=True)
@@ -232,9 +275,13 @@ def project(child: Expression, attrs: Sequence[str]) -> Project:
 
 
 def join(
-    left: Expression, right: Expression, on: Sequence[tuple[str, str] | str]
+    left: Expression,
+    right: Expression,
+    on: Sequence[tuple[str, str] | str] | str,
 ) -> Join:
     """Equi-join; ``on`` items may be ``"a"`` (same name both sides) or ``("a", "b")``."""
+    if isinstance(on, str):
+        on = (on,)
     pairs = tuple((p, p) if isinstance(p, str) else (p[0], p[1]) for p in on)
     return Join(left, right, pairs)
 

@@ -68,6 +68,27 @@ class BlockSampler:
         self._next += n_blocks
         return ids.tolist()
 
+    # ------------------------------------------------------------------
+    # Salvage support (fault injection)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Opaque rollback token: the draw cursor."""
+        return self._next
+
+    def restore(self, token: int) -> None:
+        """Roll the cursor back to a :meth:`snapshot` token.
+
+        The pre-shuffled order is never re-drawn, so a restored sampler
+        hands out exactly the block ids of the discarded attempt — which
+        is what makes a salvaged stage's retry deterministic.
+        """
+        if not 0 <= token <= self._next:
+            raise SamplingExhausted(
+                f"relation {self.relation.name!r}: cannot restore cursor to "
+                f"{token} (currently at {self._next})"
+            )
+        self._next = token
+
 
 def blocks_for_fraction(relation: HeapFile, fraction: float) -> int:
     """Whole blocks corresponding to sample fraction ``fraction``.

@@ -34,6 +34,7 @@ from repro.server.events import (
     AdmissionDecided,
     RequestArrived,
     RequestCompleted,
+    RequestRetried,
     RequestStarted,
 )
 from repro.server.metrics import BucketHistogram, ServerMetrics
@@ -64,6 +65,7 @@ __all__ = [
     "RequestArrived",
     "RequestCompleted",
     "RequestOutcome",
+    "RequestRetried",
     "RequestStarted",
     "ServerMetrics",
     "degraded_estimate",

@@ -11,7 +11,8 @@ event_from_dict` rebuilds these events because they are registered with
 
 The lifecycle of one request reads as an event sequence::
 
-    request_arrived → admission_decided → [request_started] → request_completed
+    request_arrived → admission_decided → [request_started]
+        → [request_retried …] → request_completed
 
 ``request_started`` only appears for requests that were admitted and
 actually dispatched to a :class:`~repro.core.session.QuerySession`;
@@ -65,6 +66,23 @@ class RequestStarted(TraceEvent):
     request_id: str = ""
     queue_wait: float = 0.0
     budget: float = 0.0
+    clock: float = 0.0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class RequestRetried(TraceEvent):
+    """A dispatched request hit a transient fault and was re-executed.
+
+    Only injected/storage faults trigger retries (see :mod:`repro.faults`);
+    the backoff is charged to the request's own remaining budget.
+    """
+
+    kind: ClassVar[str] = "request_retried"
+    request_id: str = ""
+    attempt: int = 0
+    reason: str = ""
+    backoff_seconds: float = 0.0
     clock: float = 0.0
 
 

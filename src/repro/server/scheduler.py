@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.database import Database
 from repro.costmodel.model import CostModel
+from repro.errors import StorageError
 from repro.observability.trace import NULL_SINK, TeeSink, TraceSink
 from repro.server.admission import (
     AdmissionAction,
@@ -57,6 +58,7 @@ from repro.server.events import (
     AdmissionDecided,
     RequestArrived,
     RequestCompleted,
+    RequestRetried,
     RequestStarted,
 )
 from repro.server.metrics import ServerMetrics
@@ -115,6 +117,16 @@ class QueryServer:
     trace_queries:
         Thread the server sink into each session too, interleaving
         per-stage query events with scheduling events on one stream.
+    max_fault_retries:
+        How many times a dispatched request defeated by transient
+        (injected/storage) faults is re-executed within its own remaining
+        budget (default 1; 0 disables retries). Retries that still fail
+        fall back to the zero-sampling degraded answer when prestored
+        statistics cover the query.
+    retry_backoff:
+        Simulated seconds charged to the request's own budget before each
+        retry, scaled by the attempt number and capped at the remaining
+        budget.
     """
 
     def __init__(
@@ -126,6 +138,8 @@ class QueryServer:
         share_cost_model: bool = True,
         trace_queries: bool = False,
         session_kwargs: dict | None = None,
+        max_fault_retries: int = 1,
+        retry_backoff: float = 0.05,
     ) -> None:
         if database.clock_kind != "simulated":
             raise ValueError(
@@ -147,6 +161,12 @@ class QueryServer:
         )
         self.trace_queries = trace_queries
         self.session_kwargs = dict(session_kwargs or {})
+        if max_fault_retries < 0:
+            raise ValueError(f"max_fault_retries cannot be negative: {max_fault_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff cannot be negative: {retry_backoff}")
+        self.max_fault_retries = max_fault_retries
+        self.retry_backoff = retry_backoff
         self._seq = itertools.count()
         self.outcomes: list[RequestOutcome] = []
 
@@ -459,23 +479,63 @@ class QueryServer:
         )
         result = None
         failure: str | None = None
-        try:
-            session = self.database.open_session(
-                request.expr,
-                quota=budget,
-                strategy=self.strategy_factory(),
-                stopping=HardDeadline(),
-                measure_overspend=False,
-                aggregate=request.aggregate,
-                cost_model=self._cost_model,
-                seed=request.seed,
-                clock=self.clock,
-                sink=self.sink if self.trace_queries else None,
-                **self.session_kwargs,
+        attempt = 0
+        while True:
+            remaining = ticket.deadline - self.clock.now()
+            attempt_quota = min(max(remaining, 0.0), budget)
+            if attempt_quota <= 0:
+                break
+            result = None
+            failure = None
+            transient = False
+            try:
+                session = self.database.open_session(
+                    request.expr,
+                    quota=attempt_quota,
+                    strategy=self.strategy_factory(),
+                    stopping=HardDeadline(),
+                    measure_overspend=False,
+                    aggregate=request.aggregate,
+                    cost_model=self._cost_model,
+                    seed=self._retry_seed(request.seed, attempt),
+                    clock=self.clock,
+                    sink=self.sink if self.trace_queries else None,
+                    **self.session_kwargs,
+                )
+                result = session.run()
+            except StorageError as exc:
+                # A fault that escaped salvage (no injector armed, or a real
+                # storage failure) is worth one deterministic re-execution.
+                failure = f"{type(exc).__name__}: {exc}"
+                transient = True
+            except Exception as exc:  # the scheduler never raises to the caller
+                failure = f"{type(exc).__name__}: {exc}"
+            if result is not None:
+                if result.estimate is not None:
+                    break
+                # A run that produced nothing *because faults ate it* is
+                # transient; an undisturbed empty run is a genuine miss.
+                transient = result.faulted
+            if not transient or attempt >= self.max_fault_retries:
+                break
+            attempt += 1
+            remaining = ticket.deadline - self.clock.now()
+            backoff = min(self.retry_backoff * attempt, max(remaining, 0.0))
+            self.sink.emit(
+                RequestRetried(
+                    request_id=request.request_id,
+                    attempt=attempt,
+                    reason=(
+                        failure
+                        if failure is not None
+                        else f"{len(result.faults)} fault(s), no estimate"
+                    ),
+                    backoff_seconds=backoff,
+                    clock=self.clock.now(),
+                )
             )
-            result = session.run()
-        except Exception as exc:  # the scheduler never raises to the caller
-            failure = f"{type(exc).__name__}: {exc}"
+            if backoff > 0:
+                self.clock.advance(backoff)
         finished = self.clock.now()
         if failure is not None:
             outcome = RequestOutcome(
@@ -487,20 +547,44 @@ class QueryServer:
                 started_at=now,
                 finished_at=finished,
             )
-        elif result.estimate is None:
-            outcome = RequestOutcome(
-                request=request,
-                outcome=Outcome.MISSED,
-                reason=(
-                    "no stage completed within the remaining budget "
-                    f"({budget:.3f}s; termination: {result.termination})"
-                ),
-                admitted=True,
-                queue_wait=queue_wait,
-                started_at=now,
-                finished_at=finished,
-                result=result,
-            )
+        elif result is None or result.estimate is None:
+            fallback = None
+            if result is not None and result.faulted:
+                fallback = degraded_estimate(
+                    self.database, request.expr, aggregate=request.aggregate
+                )
+            if fallback is not None:
+                outcome = RequestOutcome(
+                    request=request,
+                    outcome=Outcome.DEGRADED,
+                    reason=(
+                        f"faults defeated {attempt + 1} attempt(s); "
+                        "zero-sampling prestored answer"
+                    ),
+                    admitted=True,
+                    queue_wait=queue_wait,
+                    started_at=now,
+                    finished_at=finished,
+                    result=result,
+                    estimate=fallback,
+                )
+            else:
+                termination = (
+                    result.termination if result is not None else "unrun"
+                )
+                outcome = RequestOutcome(
+                    request=request,
+                    outcome=Outcome.MISSED,
+                    reason=(
+                        "no stage completed within the remaining budget "
+                        f"({budget:.3f}s; termination: {termination})"
+                    ),
+                    admitted=True,
+                    queue_wait=queue_wait,
+                    started_at=now,
+                    finished_at=finished,
+                    result=result,
+                )
         else:
             outcome = RequestOutcome(
                 request=request,
@@ -517,6 +601,15 @@ class QueryServer:
             )
         self._completed_event(outcome)
         return outcome
+
+    @staticmethod
+    def _retry_seed(seed: int | None, attempt: int) -> int | None:
+        """Deterministic per-attempt seed: replayable, but not a verbatim
+        re-run (a retry with the identical stream would hit the identical
+        injected fault)."""
+        if seed is None or attempt == 0:
+            return seed
+        return (seed + 0x9E3779B1 * attempt) & 0xFFFFFFFF
 
     # ------------------------------------------------------------------
     # Terminal bookkeeping

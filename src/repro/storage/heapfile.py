@@ -11,13 +11,16 @@ formulas, and sampling draws whole blocks.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.catalog.schema import Schema
 from repro.errors import StorageError
 from repro.storage.block import DiskBlock, Row
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.profile import CostKind
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 DEFAULT_BLOCK_SIZE = 1024
 """The paper's 1 KB disk block."""
@@ -85,23 +88,41 @@ class HeapFile:
     # ------------------------------------------------------------------
     # Reads (charged)
     # ------------------------------------------------------------------
-    def read_block(self, block_id: int, charger: CostCharger) -> list[Row]:
-        """Read one block's rows, charging one ``BLOCK_READ``."""
+    def read_block(
+        self,
+        block_id: int,
+        charger: CostCharger,
+        injector: "FaultInjector | None" = None,
+    ) -> list[Row]:
+        """Read one block's rows, charging one ``BLOCK_READ``.
+
+        ``injector`` is the session's fault injector, if any: it is
+        consulted *after* the charge (a failed or slow read still spun the
+        disk) and may raise :class:`~repro.errors.InjectedFault` or charge
+        a stall penalty.
+        """
         if not 0 <= block_id < len(self._blocks):
             raise StorageError(
                 f"relation {self.name!r} has no block {block_id} "
-                f"(has {len(self._blocks)})"
+                f"(has {len(self._blocks)})",
+                relation=self.name,
+                block_id=block_id,
             )
         charger.charge(CostKind.BLOCK_READ, 1)
+        if injector is not None:
+            injector.on_block_read(self.name, block_id, charger)
         return list(self._blocks[block_id].rows)
 
     def read_blocks(
-        self, block_ids: Sequence[int], charger: CostCharger
+        self,
+        block_ids: Sequence[int],
+        charger: CostCharger,
+        injector: "FaultInjector | None" = None,
     ) -> list[Row]:
         """Read several blocks (each charged), concatenating their rows."""
         rows: list[Row] = []
         for block_id in block_ids:
-            rows.extend(self.read_block(block_id, charger))
+            rows.extend(self.read_block(block_id, charger, injector))
         return rows
 
     def scan(self, charger: CostCharger) -> Iterator[Row]:
@@ -123,7 +144,11 @@ class HeapFile:
     def block_rows_uncharged(self, block_id: int) -> list[Row]:
         """One block's rows without charging — for tests only."""
         if not 0 <= block_id < len(self._blocks):
-            raise StorageError(f"no block {block_id} in {self.name!r}")
+            raise StorageError(
+                f"no block {block_id} in {self.name!r}",
+                relation=self.name,
+                block_id=block_id,
+            )
         return list(self._blocks[block_id].rows)
 
     def __repr__(self) -> str:

@@ -93,6 +93,27 @@ class Spool:
     def live_tuples(self) -> int:
         return sum(len(f) for f in self._files)
 
+    # ------------------------------------------------------------------
+    # Salvage support (fault injection)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Opaque rollback token: the file count."""
+        return len(self._files)
+
+    def restore(self, token: int) -> None:
+        """Drop every file created after a :meth:`snapshot` token.
+
+        Pre-existing files are untouched (a faulted stage only ever
+        *creates* files; it never mutates survivors). ``peak_tuples``
+        keeps its high-water mark — the transient space was really used.
+        """
+        if not 0 <= token <= len(self._files):
+            raise StorageError(
+                f"cannot restore spool to {token} files "
+                f"(has {len(self._files)})"
+            )
+        del self._files[token:]
+
     def _note_usage(self) -> None:
         self.peak_tuples = max(self.peak_tuples, self.live_tuples)
 

@@ -24,8 +24,15 @@ from dataclasses import dataclass, field
 
 from repro.costmodel import steps as step_names
 from repro.engine.plan import StagedPlan
-from repro.errors import QuotaExpired, TimeControlError
+from repro.errors import (
+    QuotaExpired,
+    SamplingExhausted,
+    StorageError,
+    TimeControlError,
+)
 from repro.estimation.estimate import Estimate
+from repro.faults.events import FaultSalvaged
+from repro.faults.injector import FaultRecord
 from repro.observability.trace import (
     DeadlineAbort,
     QueryEnd,
@@ -78,6 +85,7 @@ class RunReport:
     estimate_with_overrun: Estimate | None = None
     termination: str = ""
     peak_temp_tuples: int = 0
+    faults: list[FaultRecord] = field(default_factory=list)
 
     # -- derived measures (the paper's table columns) -------------------
     @property
@@ -91,11 +99,30 @@ class RunReport:
         return any(not s.completed_in_time for s in self.stages)
 
     @property
+    def degraded(self) -> bool:
+        """Did the run finish early because injected faults exhausted it?"""
+        return self.termination == "degraded"
+
+    @property
+    def faulted(self) -> bool:
+        """Were any faults injected and salvaged during the run?"""
+        return bool(self.faults)
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Charged time spent on stage attempts discarded after a fault."""
+        return sum(f.wasted_seconds for f in self.faults)
+
+    @property
     def overspend_seconds(self) -> float:
         """Seconds past the quota spent finishing the aborted stage (ovsp)."""
         if math.isinf(self.quota):
             return 0.0
-        end = self.started_at + sum(s.duration for s in self.stages)
+        end = (
+            self.started_at
+            + sum(s.duration for s in self.stages)
+            + self.wasted_seconds
+        )
         return max(end - (self.started_at + self.quota), 0.0)
 
     @property
@@ -127,12 +154,14 @@ class TimeConstrainedExecutor:
         measure_overspend: bool = True,
         max_stages: int = 64,
         sink: TraceSink | None = None,
+        max_stage_retries: int = 3,
     ) -> None:
         self.plan = plan
         self.strategy = strategy
         self.stopping = stopping if stopping is not None else HardDeadline()
         self.measure_overspend = measure_overspend
         self.max_stages = max_stages
+        self.max_stage_retries = max_stage_retries
         # Default to the plan's sink so one wiring point traces the whole run.
         self.sink: TraceSink = sink if sink is not None else plan.sink
 
@@ -163,6 +192,8 @@ class TimeConstrainedExecutor:
         )
 
         estimates: list[Estimate] = []
+        injector = self.plan.injector
+        stage_retries = 0  # consecutive salvaged attempts of the current stage
         try:
             while len(report.stages) < self.max_stages:
                 now = clock.now()
@@ -187,7 +218,27 @@ class TimeConstrainedExecutor:
                         clock=now,
                     )
                 )
-                stage_report = self._run_stage(fraction, deadline)
+                # Snapshots are taken only when faults can actually fire, so
+                # unfaulted runs pay nothing and stay bit-identical.
+                token = None
+                if injector is not None:
+                    injector.begin_stage(self.plan.stages_completed + 1)
+                    token = self.plan.snapshot()
+                attempt_started = clock.now()
+                try:
+                    stage_report = self._run_stage(fraction, deadline)
+                except (StorageError, SamplingExhausted) as fault:
+                    if token is None:
+                        raise
+                    salvaged = self._salvage(
+                        report, fault, token, attempt_started, stage_retries
+                    )
+                    if not salvaged:
+                        report.termination = "degraded"
+                        break
+                    stage_retries += 1
+                    continue
+                stage_retries = 0
                 report.stages.append(stage_report)
                 if stage_report.aborted_mid_stage:
                     report.termination = "interrupted"
@@ -253,6 +304,52 @@ class TimeConstrainedExecutor:
         )
         return report
 
+    def _salvage(
+        self,
+        report: RunReport,
+        fault: Exception,
+        token: dict,
+        attempt_started: float,
+        stage_retries: int,
+    ) -> bool:
+        """Discard the faulted stage attempt and decide whether to retry.
+
+        The plan rolls back to its pre-stage logical state (samplers,
+        trackers, runs, moments) while the clock keeps every second the
+        wasted attempt charged — faults cost time but never corrupt the
+        estimate. Returns ``True`` to retry the stage, ``False`` to finish
+        the run with the last consistent estimate (``degraded``).
+        """
+        clock = self.plan.charger.clock
+        wasted = clock.now() - attempt_started
+        stage_index = self.plan.stages_completed + 1
+        self.plan.restore(token)
+        plan = self.plan.injector.plan
+        retry = (
+            plan.salvage == "continue"
+            and stage_retries + 1 < self.max_stage_retries
+        )
+        record = FaultRecord(
+            stage=stage_index,
+            fault_kind=getattr(fault, "fault_kind", "storage_error"),
+            message=str(fault),
+            relation=getattr(fault, "relation", None),
+            block_id=getattr(fault, "block_id", None),
+            wasted_seconds=wasted,
+            action="retry" if retry else "finish",
+        )
+        report.faults.append(record)
+        self.sink.emit(
+            FaultSalvaged(
+                stage=stage_index,
+                fault_kind=record.fault_kind,
+                wasted_seconds=wasted,
+                action=record.action,
+                clock=clock.now(),
+            )
+        )
+        return retry
+
     def _emit_stage_end(self, stage: StageReport) -> None:
         self.sink.emit(
             StageEnd(
@@ -305,6 +402,11 @@ class TimeConstrainedExecutor:
             blocks = stats.blocks_read
             new_points = stats.new_points
             new_outputs = stats.new_outputs
+            if self.plan.injector is not None:
+                # An injected overrun lands after the stage's real work, so
+                # the stage's results stay consistent; only its timing (and
+                # thus completed_in_time below) absorbs the penalty.
+                self.plan.injector.maybe_overrun(stage_index, charger)
         except QuotaExpired:
             aborted = True
         duration = clock.now() - started

@@ -66,6 +66,7 @@ class CostCharger:
         self._first_crossing: float | None = None
         self.totals: dict[CostKind, float] = {k: 0.0 for k in CostKind}
         self.counts: dict[CostKind, float] = {k: 0.0 for k in CostKind}
+        self.penalty_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Deadline (timer interrupt) management
@@ -138,6 +139,30 @@ class CostCharger:
                     clock=now,
                 )
             )
+        if self._deadline is not None and now > self._deadline:
+            if self._first_crossing is None:
+                self._first_crossing = now
+            if self._hard:
+                deadline = self._deadline
+                self._deadline = None  # fire once
+                raise QuotaExpired(deadline, now)
+        return seconds
+
+    def penalty(self, seconds: float) -> float:
+        """Charge ``seconds`` of raw stall time (injected or external waits).
+
+        Unlike :meth:`charge`, a penalty has no rate, no jitter (the RNG is
+        untouched), and no :class:`CostKind` — it models time lost to
+        something other than modelled work: an injected slow read, a stage
+        overrun, a retry backoff. It honours the armed deadline exactly
+        like a charge does, so a stall can trip the hard timer interrupt.
+        """
+        if seconds < 0:
+            raise TimeControlError(f"cannot charge negative penalty {seconds}")
+        if seconds == 0:
+            return 0.0
+        self.penalty_seconds += seconds
+        now = self._advance(seconds)
         if self._deadline is not None and now > self._deadline:
             if self._first_crossing is None:
                 self._first_crossing = now

@@ -158,13 +158,13 @@ class TestDatabaseAggregates:
 
     def test_sum_estimate_full_coverage_exact(self, db):
         expr = select(rel("r1"), cmp("a", "<", 5))
-        result = db.sum_estimate(expr, "v", quota=1e9, seed=2)
+        result = db.estimate(expr, sum_of("v"), quota=1e9, seed=2)
         assert result.exact
         assert result.value == db.aggregate(expr, sum_of("v"))
 
     def test_avg_estimate_full_coverage_exact(self, db):
         expr = select(rel("r1"), cmp("a", "<", 5))
-        result = db.avg_estimate(expr, "v", quota=1e9, seed=2)
+        result = db.estimate(expr, avg_of("v"), quota=1e9, seed=2)
         assert result.exact
         assert result.value == pytest.approx(db.aggregate(expr, avg_of("v")))
 
@@ -172,7 +172,7 @@ class TestDatabaseAggregates:
         expr = select(rel("r1"), cmp("a", "<", 5))
         true = db.aggregate(expr, sum_of("v"))
         values = [
-            db.sum_estimate(expr, "v", quota=3.0, seed=100 + i).value
+            db.estimate(expr, sum_of("v"), quota=3.0, seed=100 + i).value
             for i in range(25)
         ]
         assert np.mean(values) == pytest.approx(true, rel=0.15)
@@ -180,26 +180,26 @@ class TestDatabaseAggregates:
     def test_avg_estimate_on_join(self, db):
         expr = join(rel("r1"), rel("r2"), on=["a"])
         true = db.aggregate(expr, avg_of("v"))
-        result = db.avg_estimate(expr, "v", quota=6.0, seed=4)
+        result = db.estimate(expr, avg_of("v"), quota=6.0, seed=4)
         assert result.estimate is not None
         assert result.value == pytest.approx(true, rel=0.35)
 
     def test_sum_over_union_terms_combine(self, db):
         expr = union(rel("r1"), rel("r2"))
         true = db.aggregate(expr, sum_of("v"))
-        result = db.sum_estimate(expr, "v", quota=1e9, seed=5)
+        result = db.estimate(expr, sum_of("v"), quota=1e9, seed=5)
         assert result.value == pytest.approx(true)
 
     def test_sum_over_projection_rejected(self, db):
         expr = project(rel("r1"), ["a"])
         with pytest.raises(EstimationError, match="projection"):
-            db.sum_estimate(expr, "v", quota=1.0)
+            db.estimate(expr, sum_of("v"), quota=1.0)
 
     def test_unknown_attribute_rejected(self, db):
         with pytest.raises(Exception):
-            db.sum_estimate(rel("r1"), "ghost", quota=1.0)
+            db.estimate(rel("r1"), sum_of("ghost"), quota=1.0)
 
     def test_summary_labels_aggregate(self, db):
         expr = select(rel("r1"), cmp("a", "<", 5))
-        result = db.sum_estimate(expr, "v", quota=3.0, seed=2)
+        result = db.estimate(expr, sum_of("v"), quota=3.0, seed=2)
         assert result.estimate is None or "SUM" in result.summary()

@@ -76,7 +76,7 @@ class TestExactCounting:
 class TestCountEstimate:
     def test_estimate_has_run_diagnostics(self, db):
         expr = select(rel("r1"), cmp("a", "<", 3))
-        result = db.count_estimate(expr, quota=1.0, seed=7)
+        result = db.estimate(expr, quota=1.0, seed=7)
         assert result.estimate is not None
         assert result.stages >= 1
         assert result.blocks > 0
@@ -87,33 +87,33 @@ class TestCountEstimate:
 
     def test_same_seed_reproduces(self, db):
         expr = select(rel("r1"), cmp("a", "<", 3))
-        a = db.count_estimate(expr, quota=1.0, seed=3)
-        b = db.count_estimate(expr, quota=1.0, seed=3)
+        a = db.estimate(expr, quota=1.0, seed=3)
+        b = db.estimate(expr, quota=1.0, seed=3)
         assert a.value == b.value
         assert a.stages == b.stages
 
     def test_master_seed_spawns_distinct_streams(self, db):
         expr = select(rel("r1"), cmp("a", "<", 3))
-        a = db.count_estimate(expr, quota=1.0)
-        b = db.count_estimate(expr, quota=1.0)
+        a = db.estimate(expr, quota=1.0)
+        b = db.estimate(expr, quota=1.0)
         # Distinct spawned streams: almost surely different sample draws.
         assert (a.value, a.blocks) != (b.value, b.blocks) or a.stages != b.stages
 
     def test_union_query_estimable(self, db):
-        result = db.count_estimate(union(rel("r1"), rel("r2")), quota=2.0, seed=1)
+        result = db.estimate(union(rel("r1"), rel("r2")), quota=2.0, seed=1)
         assert result.estimate is not None
         true = db.count(union(rel("r1"), rel("r2")))
         assert result.value == pytest.approx(true, rel=0.5)
 
     def test_join_query_estimable(self, db):
         expr = join(rel("r1"), rel("r2"), on=["a"])
-        result = db.count_estimate(
+        result = db.estimate(
             expr, quota=6.0, strategy=OneAtATimeInterval(d_beta=12.0), seed=5
         )
         assert result.estimate is not None
 
     def test_summary_readable(self, db):
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 3)), quota=1.0, seed=7
         )
         text = result.summary()
@@ -121,7 +121,7 @@ class TestCountEstimate:
 
     def test_relative_error(self, db):
         expr = select(rel("r1"), cmp("a", "<", 3))
-        result = db.count_estimate(expr, quota=4.0, seed=7)
+        result = db.estimate(expr, quota=4.0, seed=7)
         assert result.relative_error(150) >= 0.0
 
     def test_wall_clock_mode_runs(self):
@@ -133,7 +133,7 @@ class TestCountEstimate:
             "r1", [("id", "int"), ("a", "int")],
             rows=[(i, i % 5) for i in range(100)], block_size=16,
         )
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 2)), quota=2.0, seed=1
         )
         # Work is free in simulated charge terms but real wall time passes;
@@ -156,6 +156,6 @@ class TestQueryResultEdgeCases:
 
     def test_relative_error_of_zero_truth(self, db):
         expr = select(rel("r1"), cmp("a", "<", 0))  # empty result
-        result = db.count_estimate(expr, quota=2.0, seed=3)
+        result = db.estimate(expr, quota=2.0, seed=3)
         err = result.relative_error(0)
         assert err == 0.0 or err == float("inf")

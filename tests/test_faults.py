@@ -1,0 +1,331 @@
+"""Unit tests for repro.faults: plans, derived RNG, injector, storage hook.
+
+The subsystem's determinism contract is the focus: the fault stream derives
+from the session RNG's *seed material* without consuming the session stream,
+probability draws happen in a fixed order, and every injection either raises
+a structured :class:`InjectedFault` or charges a raw penalty on the charger.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InjectedFault,
+    QuotaExpired,
+    ReproError,
+    StorageError,
+    TimeControlError,
+)
+from repro.faults.events import FaultInjected, FaultSalvaged
+from repro.faults.injector import FaultInjector, derive_fault_rng
+from repro.faults.plan import FaultPlan
+from repro.observability import RecordingSink
+from repro.observability.trace import event_from_dict
+from repro.storage.heapfile import HeapFile
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.profile import MachineProfile
+
+from tests.conftest import make_relation
+
+
+def unit_injector(plan: FaultPlan, seed: int = 3, sink=None) -> FaultInjector:
+    return FaultInjector(plan, np.random.default_rng(seed), sink)
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize(
+        "field", ["read_error_prob", "slow_read_prob", "stage_overrun_prob"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_probabilities_must_be_in_unit_interval(self, field, value):
+        with pytest.raises(ReproError, match="must be in"):
+            FaultPlan(**{field: value})
+
+    def test_negative_slow_read_factor_rejected(self):
+        with pytest.raises(ReproError, match="slow_read_factor"):
+            FaultPlan(slow_read_factor=-1.0)
+
+    def test_negative_overrun_seconds_rejected(self):
+        with pytest.raises(ReproError, match="stage_overrun_seconds"):
+            FaultPlan(stage_overrun_seconds=-0.5)
+
+    def test_unknown_salvage_mode_rejected(self):
+        with pytest.raises(ReproError, match="salvage"):
+            FaultPlan(salvage="panic")
+
+    def test_fail_stages_must_be_positive(self):
+        with pytest.raises(ReproError, match="fail_stages"):
+            FaultPlan(fail_stages=(0,))
+
+    def test_negative_max_injections_rejected(self):
+        with pytest.raises(ReproError, match="max_injections"):
+            FaultPlan(max_injections=-1)
+
+    def test_fail_stages_normalised_to_tuple(self):
+        assert FaultPlan(fail_stages=[2, 3]).fail_stages == (2, 3)
+
+    def test_default_plan_is_inactive(self):
+        assert not FaultPlan().active
+
+    def test_any_schedule_activates(self):
+        assert FaultPlan(read_error_prob=0.01).active
+        assert FaultPlan(slow_read_prob=0.01).active
+        assert FaultPlan(stage_overrun_prob=0.01).active
+        assert FaultPlan(fail_stages=(1,)).active
+
+    def test_zero_injection_cap_deactivates(self):
+        assert not FaultPlan(read_error_prob=1.0, max_injections=0).active
+
+
+class TestDerivedFaultRng:
+    def test_does_not_consume_the_session_stream(self):
+        rng = np.random.default_rng(42)
+        twin = np.random.default_rng(42)
+        derive_fault_rng(rng, salt=5)
+        assert rng.random() == twin.random()
+
+    def test_deterministic_given_seed_and_salt(self):
+        a = derive_fault_rng(np.random.default_rng(7), salt=3)
+        b = derive_fault_rng(np.random.default_rng(7), salt=3)
+        assert list(a.random(8)) == list(b.random(8))
+
+    def test_salt_changes_the_stream(self):
+        a = derive_fault_rng(np.random.default_rng(7), salt=0)
+        b = derive_fault_rng(np.random.default_rng(7), salt=1)
+        assert list(a.random(8)) != list(b.random(8))
+
+    def test_independent_of_session_draws(self):
+        rng = np.random.default_rng(9)
+        before = derive_fault_rng(rng)
+        rng.random(100)  # session does a lot of sampling
+        after = derive_fault_rng(rng)
+        assert list(before.random(4)) == list(after.random(4))
+
+
+class TestInjectorProbabilisticFaults:
+    def test_certain_read_error_raises_structured_fault(self, unit_charger):
+        injector = unit_injector(FaultPlan(read_error_prob=1.0))
+        injector.begin_stage(2)
+        with pytest.raises(InjectedFault) as err:
+            injector.on_block_read("r1", 4, unit_charger)
+        fault = err.value
+        assert fault.fault_kind == "read_error"
+        assert fault.relation == "r1"
+        assert fault.block_id == 4
+        assert fault.stage == 2
+        assert isinstance(fault, StorageError)
+        assert isinstance(fault, ReproError)
+        assert injector.injected_read_errors == 1
+
+    def test_certain_slow_read_charges_factor_times_block_rate(
+        self, unit_charger
+    ):
+        injector = unit_injector(
+            FaultPlan(slow_read_prob=1.0, slow_read_factor=2.5)
+        )
+        injector.begin_stage(1)
+        injector.on_block_read("r1", 0, unit_charger)
+        # Unit profile: BLOCK_READ rate is 1 s, so the stall is 2.5 s.
+        assert unit_charger.penalty_seconds == pytest.approx(2.5)
+        assert unit_charger.clock.now() == pytest.approx(2.5)
+        assert injector.injected_slow_reads == 1
+
+    def test_zero_probability_plan_never_draws(self, unit_charger):
+        injector = unit_injector(FaultPlan(fail_stages=(5,)))
+        injector.begin_stage(1)
+        state_before = injector.rng.bit_generator.state
+        injector.on_block_read("r1", 0, unit_charger)
+        assert injector.rng.bit_generator.state == state_before
+
+    def test_same_seed_replays_the_same_faults(self, unit_charger):
+        plan = FaultPlan(read_error_prob=0.3)
+
+        def outcomes(seed):
+            injector = FaultInjector(plan, np.random.default_rng(seed))
+            injector.begin_stage(1)
+            fired = []
+            for block in range(40):
+                try:
+                    injector.on_block_read("r1", block, unit_charger)
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert outcomes(11) == outcomes(11)
+        assert True in outcomes(11)  # 40 draws at p=0.3: some fault fires
+
+    def test_max_injections_caps_total_faults(self, unit_charger):
+        injector = unit_injector(
+            FaultPlan(read_error_prob=1.0, max_injections=2)
+        )
+        injector.begin_stage(1)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.on_block_read("r1", 0, unit_charger)
+        injector.on_block_read("r1", 0, unit_charger)  # cap reached: no-op
+        assert injector.total_injected == 2
+
+
+class TestScheduledFaults:
+    def test_fail_stage_fires_only_on_first_attempt(self, unit_charger):
+        injector = unit_injector(FaultPlan(fail_stages=(1,)))
+        injector.begin_stage(1)
+        with pytest.raises(InjectedFault):
+            injector.on_block_read("r1", 0, unit_charger)
+        injector.begin_stage(1)  # the executor retries the stage
+        injector.on_block_read("r1", 0, unit_charger)  # attempt 2: clean
+        assert injector.attempts(1) == 2
+
+    def test_fail_stage_only_hits_listed_stages(self, unit_charger):
+        injector = unit_injector(FaultPlan(fail_stages=(2,)))
+        injector.begin_stage(1)
+        injector.on_block_read("r1", 0, unit_charger)
+        injector.begin_stage(2)
+        with pytest.raises(InjectedFault):
+            injector.on_block_read("r1", 0, unit_charger)
+
+    def test_scheduled_fault_event_is_marked(self, unit_charger):
+        sink = RecordingSink()
+        injector = unit_injector(FaultPlan(fail_stages=(1,)), sink=sink)
+        injector.begin_stage(1)
+        with pytest.raises(InjectedFault):
+            injector.on_block_read("r1", 3, unit_charger)
+        (event,) = sink.of_kind("fault_injected")
+        assert event.scheduled is True
+        assert event.block_id == 3
+
+
+class TestStageOverrun:
+    def test_certain_overrun_charges_raw_penalty(self, unit_charger):
+        sink = RecordingSink()
+        injector = unit_injector(
+            FaultPlan(stage_overrun_prob=1.0, stage_overrun_seconds=0.75),
+            sink=sink,
+        )
+        injector.begin_stage(1)
+        penalty = injector.maybe_overrun(1, unit_charger)
+        assert penalty == pytest.approx(0.75)
+        assert unit_charger.penalty_seconds == pytest.approx(0.75)
+        (event,) = sink.of_kind("fault_injected")
+        assert event.fault_kind == "stage_overrun"
+        assert injector.injected_overruns == 1
+
+    def test_overrun_can_trip_the_hard_deadline(self, unit_charger):
+        injector = unit_injector(
+            FaultPlan(stage_overrun_prob=1.0, stage_overrun_seconds=5.0)
+        )
+        unit_charger.arm(deadline=1.0, hard=True)
+        with pytest.raises(QuotaExpired):
+            injector.maybe_overrun(1, unit_charger)
+        # The stall still advanced the clock (the time really passed).
+        assert unit_charger.clock.now() == pytest.approx(5.0)
+
+
+class TestStorageIntegration:
+    def test_read_block_consults_the_injector_after_charging(
+        self, int_schema, unit_charger
+    ):
+        heap = make_relation("r", int_schema, [(i, i) for i in range(8)])
+        injector = unit_injector(FaultPlan(read_error_prob=1.0))
+        injector.begin_stage(1)
+        with pytest.raises(InjectedFault) as err:
+            heap.read_block(0, unit_charger, injector)
+        assert err.value.relation == "r"
+        assert err.value.block_id == 0
+        # The failed read's I/O was still charged: the time is wasted.
+        assert unit_charger.clock.now() == pytest.approx(1.0)
+
+    def test_clean_reads_with_inactive_injector_are_unaffected(
+        self, int_schema, unit_charger
+    ):
+        heap = make_relation("r", int_schema, [(i, i) for i in range(8)])
+        injector = unit_injector(FaultPlan(fail_stages=(9,)))
+        injector.begin_stage(1)
+        rows = heap.read_block(0, unit_charger, injector)
+        assert rows == heap.read_block(0, unit_charger)
+
+    def test_bad_block_id_raises_structured_storage_error(
+        self, int_schema, unit_charger
+    ):
+        heap = make_relation("r", int_schema, [(1, 1)])
+        with pytest.raises(StorageError) as err:
+            heap.read_block(99, unit_charger)
+        assert err.value.relation == "r"
+        assert err.value.block_id == 99
+
+
+class TestChargerPenalty:
+    def test_penalty_advances_clock_without_touching_the_rng(self):
+        profile = MachineProfile.uniform(1.0, noise_sigma=0.3)
+        charger = CostCharger(profile, rng=np.random.default_rng(5))
+        state_before = charger._rng.bit_generator.state
+        charger.penalty(1.5)
+        assert charger.clock.now() == pytest.approx(1.5)
+        assert charger.penalty_seconds == pytest.approx(1.5)
+        assert charger._rng.bit_generator.state == state_before
+
+    def test_negative_penalty_rejected(self, unit_charger):
+        with pytest.raises(TimeControlError):
+            unit_charger.penalty(-0.1)
+
+    def test_penalty_honours_the_armed_hard_deadline(self, unit_charger):
+        unit_charger.arm(deadline=1.0, hard=True)
+        with pytest.raises(QuotaExpired):
+            unit_charger.penalty(2.0)
+        assert unit_charger.crossed_at == pytest.approx(2.0)
+
+
+class TestErrorContext:
+    def test_with_context_first_writer_wins(self):
+        error = StorageError("boom", relation="r1", block_id=2)
+        error.with_context(stage=3, session="session-9")
+        error.with_context(stage=8, session="other")
+        assert error.stage == 3
+        assert error.session == "session-9"
+        assert "stage 3" in error.context_suffix()
+        assert "session-9" in error.context_suffix()
+
+    def test_injected_fault_carries_stage_from_construction(self):
+        fault = InjectedFault("x", relation="r", block_id=1, stage=4)
+        assert fault.stage == 4
+        fault.with_context(stage=9)
+        assert fault.stage == 4  # construction-time context is preserved
+
+
+class TestEventRoundTrip:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            FaultInjected(
+                stage=2,
+                fault_kind="read_error",
+                relation="r1",
+                block_id=7,
+                scheduled=True,
+                clock=1.25,
+            ),
+            FaultInjected(
+                stage=3,
+                fault_kind="slow_read",
+                relation="r2",
+                block_id=0,
+                penalty_seconds=0.4,
+                clock=2.0,
+            ),
+            FaultSalvaged(
+                stage=2,
+                fault_kind="read_error",
+                wasted_seconds=0.3,
+                action="retry",
+                clock=1.5,
+            ),
+        ],
+    )
+    def test_fault_events_round_trip_through_jsonl(self, event):
+        line = json.dumps(event.to_dict())
+        assert event_from_dict(json.loads(line)) == event

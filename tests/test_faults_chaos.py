@@ -1,0 +1,175 @@
+"""Chaos stress: ~50 interleaved faulted sessions stay total and replayable.
+
+Extends the session-isolation stress (``test_session_stress.py``) with fault
+injection: every session carries a different :class:`FaultPlan` drawn from a
+small zoo of failure modes. The invariants under chaos:
+
+* **totality** — no exception ever escapes ``QuerySession.run()``;
+* **no overspend** — injected stalls and wasted retries never let in-time
+  work exceed the quota;
+* **replayability** — the same session seed + fault plan reproduces the run
+  bit-for-bit, interleaved or serial;
+* **zero-probability identity** — an inactive plan (or probability-0 plan)
+  is byte-for-byte the unfaulted path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import Database
+from repro.estimation.aggregates import sum_of
+from repro.faults.plan import FaultPlan
+from repro.relational.expression import intersect, rel, select
+from repro.relational.predicate import cmp
+from repro.server.workload import demo_database
+
+SESSIONS = 50
+TUPLES = 1_200
+
+PLANS = (
+    FaultPlan(read_error_prob=0.05),
+    FaultPlan(slow_read_prob=0.10, slow_read_factor=3.0),
+    FaultPlan(stage_overrun_prob=0.30, stage_overrun_seconds=0.05),
+    FaultPlan(
+        read_error_prob=0.03,
+        slow_read_prob=0.05,
+        stage_overrun_prob=0.20,
+        stage_overrun_seconds=0.02,
+        seed_salt=7,
+    ),
+    FaultPlan(fail_stages=(1,), salvage="continue"),
+    FaultPlan(fail_stages=(2,), salvage="finish"),
+    FaultPlan(read_error_prob=0.08, max_injections=2),
+)
+
+
+def make_db() -> Database:
+    return demo_database(seed=29, tuples=TUPLES, analyze=False)
+
+
+def spec(i: int, fault_plan: FaultPlan | None) -> dict:
+    """Session ``i``'s query mix (mirrors the isolation stress test)."""
+    kind = i % 4
+    if kind == 0:
+        expr = select(rel("r1"), cmp("a", "<", 100 + 20 * i))
+        aggregate = None
+    elif kind == 1:
+        expr = select(rel("r2"), cmp("a", ">", 10 * i))
+        aggregate = None
+    elif kind == 2:
+        expr = rel("r1")
+        aggregate = sum_of("b")
+    else:
+        expr = intersect(rel("r1"), rel("r2"))
+        aggregate = None
+    return {
+        "expr": expr,
+        "quota": 0.5 + (i % 5) * 0.5,
+        "seed": 1_000 + i,
+        "aggregate": aggregate,
+        "fault_plan": fault_plan,
+    }
+
+
+def signature(result) -> tuple:
+    """Everything observable about one run, faults included."""
+    report = result.report
+    estimate = report.estimate
+    return (
+        None if estimate is None else estimate.value,
+        None if estimate is None else estimate.variance,
+        report.termination,
+        len(report.stages),
+        report.total_blocks,
+        tuple((s.fraction, s.duration, s.blocks_read) for s in report.stages),
+        tuple(
+            (f.stage, f.fault_kind, f.wasted_seconds, f.action)
+            for f in report.faults
+        ),
+        report.wasted_seconds,
+    )
+
+
+def run_batch(order=None) -> dict[int, tuple]:
+    """Open all faulted sessions up front, run them in ``order``."""
+    db = make_db()
+    sessions = {
+        i: db.open_session(**spec(i, PLANS[i % len(PLANS)]))
+        for i in range(SESSIONS)
+    }
+    signatures = {}
+    for i in order if order is not None else range(SESSIONS):
+        signatures[i] = signature(sessions[i].run())
+    return signatures
+
+
+@pytest.fixture(scope="module")
+def chaos_signatures():
+    """The reference pass: interleaved in a shuffled order."""
+    order = list(range(SESSIONS))
+    random.Random(13).shuffle(order)
+    return run_batch(order)
+
+
+class TestTotalityUnderChaos:
+    def test_no_fault_escapes_and_every_run_terminates(
+        self, chaos_signatures
+    ):
+        # run_batch calling .run() bare is the assertion: any escaped
+        # InjectedFault/StorageError would have failed the fixture.
+        assert len(chaos_signatures) == SESSIONS
+        terminations = {sig[2] for sig in chaos_signatures.values()}
+        assert terminations <= {
+            "deadline",
+            "exhausted",
+            "no_feasible_stage",
+            "degraded",
+            "interrupted",
+            "max_stages",
+        }
+
+    def test_chaos_actually_injected_faults(self, chaos_signatures):
+        faulted = [s for s in chaos_signatures.values() if s[6]]
+        assert faulted, "the fault zoo injected nothing — chaos is a no-op"
+
+    def test_no_overspend_of_in_time_work(self):
+        db = make_db()
+        for i in range(SESSIONS):
+            arguments = spec(i, PLANS[i % len(PLANS)])
+            result = db.open_session(**arguments).run()
+            in_time = sum(
+                s.duration
+                for s in result.report.stages
+                if s.completed_in_time
+            )
+            assert in_time <= arguments["quota"] + 1e-9, (
+                f"session {i} overspent: {in_time} > {arguments['quota']}"
+            )
+            assert result.report.wasted_seconds >= 0.0
+
+
+class TestFaultReplayability:
+    def test_same_fault_seeds_replay_bit_identically(self, chaos_signatures):
+        assert run_batch() == chaos_signatures
+
+    def test_reversed_interleaving_matches_too(self, chaos_signatures):
+        assert run_batch(reversed(range(SESSIONS))) == chaos_signatures
+
+
+class TestZeroProbabilityIdentity:
+    def test_inactive_plan_is_byte_identical_to_no_plan(self):
+        db_plain = make_db()
+        db_zero = make_db()
+        for i in range(SESSIONS // 2):
+            plain = db_plain.open_session(**spec(i, None)).run()
+            zero = db_zero.open_session(**spec(i, FaultPlan())).run()
+            assert signature(zero) == signature(plain)
+
+    def test_exhausted_cap_still_replays_identically(self):
+        plan = FaultPlan(read_error_prob=0.5, max_injections=1)
+        first = make_db().open_session(**spec(3, plan)).run()
+        second = make_db().open_session(**spec(3, plan)).run()
+        assert signature(first) == signature(second)

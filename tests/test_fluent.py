@@ -1,0 +1,120 @@
+"""Fluent expression construction builds trees identical to the builders.
+
+Every chainable method on :class:`Expression` must produce a dataclass-equal
+tree to the corresponding module-level builder, so the two styles are
+interchangeable everywhere an expression is consumed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.expression import (
+    difference,
+    intersect,
+    join,
+    project,
+    rel,
+    select,
+    union,
+)
+from repro.relational.predicate import cmp
+
+P1 = cmp("a", "<", 10)
+P2 = cmp("b", ">", 3)
+
+
+class TestFluentEqualsBuilders:
+    def test_where(self):
+        assert rel("r1").where(P1) == select(rel("r1"), P1)
+
+    def test_project_varargs_and_sequence(self):
+        built = project(rel("r1"), ("id", "a"))
+        assert rel("r1").project("id", "a") == built
+        assert rel("r1").project(["id", "a"]) == built
+
+    def test_join_pair_form(self):
+        fluent = rel("r1").join(rel("r2"), on=[("id", "ref")])
+        assert fluent == join(rel("r1"), rel("r2"), on=[("id", "ref")])
+
+    def test_join_string_item_form(self):
+        fluent = rel("r1").join(rel("r2"), on=["id"])
+        assert fluent == join(rel("r1"), rel("r2"), on=[("id", "id")])
+
+    def test_join_bare_string_shorthand(self):
+        assert rel("r1").join(rel("r2"), on="id") == join(
+            rel("r1"), rel("r2"), on="id"
+        )
+        assert join(rel("r1"), rel("r2"), on="id") == join(
+            rel("r1"), rel("r2"), on=[("id", "id")]
+        )
+
+    def test_union(self):
+        assert rel("r1").union(rel("r2")) == union(rel("r1"), rel("r2"))
+
+    def test_difference(self):
+        assert rel("r1").difference(rel("r2")) == difference(
+            rel("r1"), rel("r2")
+        )
+
+    def test_intersect(self):
+        assert rel("r1").intersect(rel("r2")) == intersect(
+            rel("r1"), rel("r2")
+        )
+
+
+class TestChaining:
+    def test_select_join_project_chain(self):
+        fluent = (
+            rel("r1")
+            .where(P1)
+            .join(rel("r2").where(P2), on=[("id", "ref")])
+            .project("id")
+        )
+        built = project(
+            join(
+                select(rel("r1"), P1),
+                select(rel("r2"), P2),
+                on=[("id", "ref")],
+            ),
+            ("id",),
+        )
+        assert fluent == built
+
+    def test_set_operation_chain(self):
+        fluent = rel("r1").where(P1).intersect(rel("r2")).union(rel("r3"))
+        built = union(intersect(select(rel("r1"), P1), rel("r2")), rel("r3"))
+        assert fluent == built
+
+    def test_chains_are_immutable(self):
+        base = rel("r1")
+        derived = base.where(P1)
+        assert base == rel("r1")  # chaining never mutates the receiver
+        assert derived != base
+
+    def test_round_trip_equality_is_symmetric(self):
+        a = rel("r1").where(P1).join(rel("r2"), on="id")
+        b = join(select(rel("r1"), P1), rel("r2"), on=[("id", "id")])
+        assert a == b and b == a and hash(a) == hash(b)
+
+
+class TestStructuralQueriesOnFluentTrees:
+    def test_operator_count(self):
+        expr = rel("r1").where(P1).join(rel("r2").where(P2), on="id")
+        assert expr.operator_count() == 3
+
+    def test_base_relations_order(self):
+        expr = rel("r1").where(P1).join(rel("r2"), on="id").union(rel("r3"))
+        assert expr.base_relations() == ["r1", "r2", "r3"]
+
+    def test_contains_projection(self):
+        assert rel("r1").project("id").contains_projection()
+        assert not rel("r1").where(P1).contains_projection()
+
+
+class TestFluentErrors:
+    def test_empty_relation_name_rejected(self):
+        from repro.errors import ExpressionError
+
+        with pytest.raises(ExpressionError):
+            rel("")

@@ -26,7 +26,7 @@ class TestGoldenSelection:
     @pytest.fixture(scope="class")
     def result(self):
         setup = make_selection_setup(output_tuples=1_000, seed=3)
-        return setup.database.count_estimate(
+        return setup.database.estimate(
             setup.query,
             quota=setup.quota,
             strategy=OneAtATimeInterval(d_beta=24.0),
@@ -50,7 +50,7 @@ class TestGoldenJoin:
     @pytest.fixture(scope="class")
     def result(self):
         setup = make_join_setup(seed=3)
-        return setup.database.count_estimate(
+        return setup.database.estimate(
             setup.query,
             quota=setup.quota,
             strategy=OneAtATimeInterval(d_beta=24.0),
@@ -75,7 +75,7 @@ class TestGoldenIntersection:
         outcomes = []
         for _ in range(2):
             setup = make_intersection_setup(seed=3)
-            result = setup.database.count_estimate(
+            result = setup.database.estimate(
                 setup.query,
                 quota=setup.quota,
                 strategy=OneAtATimeInterval(d_beta=12.0),

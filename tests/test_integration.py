@@ -27,7 +27,7 @@ def batch(setup, strategy_factory, runs=25, quota=None, **kwargs):
     results = []
     for i in range(runs):
         results.append(
-            setup.database.count_estimate(
+            setup.database.estimate(
                 setup.query,
                 quota=quota or setup.quota,
                 strategy=strategy_factory(),
@@ -177,7 +177,7 @@ class TestIntersectionPhenomena:
 class TestErrorConstrainedEndToEnd:
     def test_stops_once_precise_enough(self):
         setup = make_selection_setup(output_tuples=5_000, seed=7)
-        result = setup.database.count_estimate(
+        result = setup.database.estimate(
             setup.query,
             quota=60.0,
             strategy=OneAtATimeInterval(d_beta=24.0),

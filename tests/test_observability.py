@@ -149,7 +149,7 @@ def small_selection_setup():
 
 def traced_run(sink, seed=TRACE_SEED, **kwargs):
     setup = small_selection_setup()
-    result = setup.database.count_estimate(
+    result = setup.database.estimate(
         setup.query,
         quota=setup.quota,
         seed=seed,
@@ -307,7 +307,7 @@ class TestHardAbortTrace:
         expr = select(rel("r1"), cmp("a", "<", 3))
         for seed in range(60):
             sink = RecordingSink()
-            result = db.count_estimate(
+            result = db.estimate(
                 expr,
                 quota=1.0,
                 seed=seed,
@@ -363,7 +363,7 @@ class TestHardAbortTrace:
         expr = select(rel("r1"), cmp("a", "<", 3))
         terminations = set()
         for seed in range(60):
-            result = db.count_estimate(
+            result = db.estimate(
                 expr,
                 quota=1.0,
                 seed=seed,

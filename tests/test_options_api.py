@@ -1,0 +1,174 @@
+"""The estimate/QueryOptions entrypoint: one method, one frozen bundle.
+
+Covers the redesigned public API: ``db.estimate(expr, agg, quota=...)`` as
+the single entrypoint, :class:`QueryOptions` as reusable immutable
+configuration, per-call keyword overrides beating the bundle, and the
+``count()`` aggregate factory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import DEFAULT_OPTIONS, QueryOptions
+from repro.errors import ReproError
+from repro.estimation.aggregates import COUNT, avg_of, count, sum_of
+from repro.observability import RecordingSink
+from repro.relational.expression import rel
+from repro.relational.predicate import cmp
+from repro.server.workload import demo_database
+from repro.timecontrol.strategies import (
+    FixedFractionHeuristic,
+    OneAtATimeInterval,
+)
+
+EXPR = rel("r1").where(cmp("a", "<", 5_000))
+
+
+@pytest.fixture(scope="module")
+def db():
+    return demo_database(seed=21, tuples=400, analyze=True)
+
+
+def sig(result):
+    report = result.report
+    return (
+        None if result.estimate is None else result.estimate.value,
+        report.termination,
+        len(report.stages),
+        report.total_blocks,
+    )
+
+
+class TestQueryOptionsValue:
+    def test_frozen(self):
+        options = QueryOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.max_stages = 2
+
+    def test_default_options_shared_instance(self):
+        assert DEFAULT_OPTIONS == QueryOptions()
+
+    def test_replace_returns_modified_copy(self):
+        base = QueryOptions()
+        changed = base.replace(max_stages=5, trace_costs=True)
+        assert changed.max_stages == 5
+        assert changed.trace_costs is True
+        assert base.max_stages == 64  # original untouched
+
+    def test_replace_rejects_unknown_options(self):
+        with pytest.raises(ReproError, match="unknown query option"):
+            QueryOptions().replace(strategee=None)
+
+    def test_bad_selectivity_source_rejected(self):
+        with pytest.raises(ReproError, match="selectivity_source"):
+            QueryOptions(selectivity_source="psychic")
+
+    def test_bad_max_stages_rejected(self):
+        with pytest.raises(ReproError, match="max_stages"):
+            QueryOptions(max_stages=0)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ReproError, match="block_size"):
+            QueryOptions(block_size=-4)
+
+
+class TestEstimateEntrypoint:
+    def test_default_aggregate_is_count(self, db):
+        explicit = db.estimate(EXPR, count(), quota=1.0, seed=5)
+        implicit = db.estimate(EXPR, quota=1.0, seed=5)
+        assert sig(explicit) == sig(implicit)
+
+    def test_count_factory_returns_the_count_spec(self):
+        assert count() is COUNT
+
+    def test_equals_open_session_run(self, db):
+        one_shot = db.estimate(EXPR, quota=1.0, seed=9)
+        session = db.open_session(EXPR, 1.0, seed=9)
+        assert sig(session.run()) == sig(one_shot)
+
+    def test_options_bundle_is_reusable(self, db):
+        options = QueryOptions(strategy=None, max_stages=3)
+        a = db.estimate(EXPR, quota=1.0, seed=3, options=options)
+        b = db.estimate(EXPR, quota=1.0, seed=3, options=options)
+        assert sig(a) == sig(b)
+        assert a.stages <= 3
+
+    def test_keyword_override_beats_the_bundle(self, db):
+        def options():
+            # Fresh bundle per run: the heuristic strategy is stateful.
+            return QueryOptions(
+                strategy=FixedFractionHeuristic(gamma=0.3), max_stages=1
+            )
+
+        bundled = db.estimate(EXPR, quota=2.0, seed=3, options=options())
+        overridden = db.estimate(
+            EXPR, quota=2.0, seed=3, options=options(), max_stages=4
+        )
+        assert bundled.stages == 1
+        assert overridden.stages > 1
+
+    def test_options_equal_keywords(self, db):
+        via_options = db.estimate(
+            EXPR,
+            quota=1.0,
+            seed=4,
+            options=QueryOptions(strategy=FixedFractionHeuristic(gamma=0.4)),
+        )
+        via_keyword = db.estimate(
+            EXPR,
+            quota=1.0,
+            seed=4,
+            strategy=FixedFractionHeuristic(gamma=0.4),
+        )
+        assert sig(via_options) == sig(via_keyword)
+
+    def test_unknown_keyword_rejected_with_valid_names(self, db):
+        with pytest.raises(ReproError, match="valid options"):
+            db.estimate(EXPR, quota=1.0, strategee=OneAtATimeInterval())
+
+    def test_aggregate_keyword_compatibility(self, db):
+        positional = db.estimate(EXPR, sum_of("b"), quota=1.0, seed=6)
+        keyword = db.estimate(EXPR, quota=1.0, seed=6, aggregate=sum_of("b"))
+        assert sig(positional) == sig(keyword)
+
+    def test_conflicting_aggregates_rejected(self, db):
+        with pytest.raises(ReproError, match="once"):
+            db.estimate(
+                EXPR, sum_of("b"), quota=1.0, aggregate=avg_of("b")
+            )
+
+    def test_block_size_option_changes_the_plan(self, db):
+        small = db.open_session(
+            EXPR, 1.0, options=QueryOptions(block_size=400)
+        )
+        default = db.open_session(EXPR, 1.0)
+        assert small.plan.block_size == 400
+        assert default.plan.block_size == db.block_size
+
+    def test_sink_option_receives_events(self, db):
+        sink = RecordingSink()
+        db.estimate(EXPR, quota=1.0, seed=8, options=QueryOptions(sink=sink))
+        assert sink.of_kind("stage_end")
+
+    def test_selectivity_sources_accepted(self, db):
+        for source in ("runtime", "hybrid", "prestored"):
+            result = db.estimate(
+                EXPR, quota=1.0, seed=2, selectivity_source=source
+            )
+            assert result.report.termination
+
+    def test_open_session_accepts_options_positionally(self, db):
+        session = db.open_session(EXPR, 1.0, QueryOptions(max_stages=2))
+        result = session.run()
+        assert result.stages <= 2
+
+
+class TestDeprecatedWrapperParity:
+    def test_wrappers_warn_and_delegate(self, db):
+        fresh = db.estimate(EXPR, quota=1.0, seed=12)
+        with pytest.warns(DeprecationWarning, match="count_estimate"):
+            legacy = db.count_estimate(EXPR, quota=1.0, seed=12)
+        assert sig(legacy) == sig(fresh)

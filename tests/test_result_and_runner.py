@@ -29,14 +29,14 @@ def db():
 
 class TestQueryResultSurfaces:
     def test_quota_and_stages_attempted(self, db):
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 3)), quota=2.0, seed=1
         )
         assert result.quota == 2.0
         assert result.stages_attempted >= result.stages
 
     def test_estimate_with_overrun_defaults_to_estimate(self, db):
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 3)), quota=2.0, seed=1
         )
         if not result.overspent:
@@ -45,7 +45,7 @@ class TestQueryResultSurfaces:
             )
 
     def test_relative_error_infinite_for_zero_truth_nonzero_estimate(self, db):
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 5)), quota=2.0, seed=1
         )
         assert math.isinf(result.relative_error(0))
@@ -53,7 +53,7 @@ class TestQueryResultSurfaces:
 
 class TestDatabaseKnobs:
     def test_max_stages_respected(self, db):
-        result = db.count_estimate(
+        result = db.estimate(
             rel("r1"), quota=1e9, seed=1, max_stages=2
         )
         assert result.stages_attempted <= 2
@@ -61,7 +61,7 @@ class TestDatabaseKnobs:
     def test_custom_step_specs_accepted(self, db):
         from repro.costmodel.steps import default_step_specs
 
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 3)),
             quota=2.0,
             seed=1,
@@ -84,7 +84,7 @@ class TestDatabaseKnobs:
 
         model = CostModel()
         before = model.predict(SCAN_READ, [10.0, 1.0])
-        db.count_estimate(
+        db.estimate(
             select(rel("r1"), cmp("a", "<", 3)),
             quota=2.0,
             seed=1,

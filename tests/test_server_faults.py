@@ -1,0 +1,159 @@
+"""Server-side fault handling: retry within budget, degrade, never raise.
+
+The scheduler's extension of the total contract under injected faults:
+transient fault losses get one (configurable) deterministic re-execution
+with a capped backoff charged to the request's own budget; runs that faults
+defeat entirely fall back to the zero-sampling degraded answer when
+prestored statistics allow it; and every retry is a registered trace event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.observability import RecordingSink
+from repro.relational.expression import intersect, rel, select
+from repro.relational.predicate import cmp
+from repro.server.admission import AdmitAll
+from repro.server.request import Outcome, QueryRequest
+from repro.server.scheduler import QueryServer
+from repro.server.workload import demo_database
+
+TUPLES = 1_000
+
+# Defeats every attempt outright: the first stage's first attempt always
+# faults and salvage finishes immediately with nothing sampled yet.
+LETHAL_PLAN = FaultPlan(fail_stages=(1,), salvage="finish")
+NOISY_PLAN = FaultPlan(read_error_prob=0.04, slow_read_prob=0.05)
+
+
+def query(threshold: int = TUPLES // 2):
+    return select(rel("r1"), cmp("a", "<", threshold))
+
+
+def request(quota=2.0, seed=1, expr=None, **kw):
+    return QueryRequest(
+        expr=expr if expr is not None else query(),
+        quota=quota,
+        seed=seed,
+        **kw,
+    )
+
+
+def make_server(db, plan, sink=None, **kw):
+    return QueryServer(
+        db,
+        policy=AdmitAll(),
+        sink=sink,
+        session_kwargs={"fault_plan": plan},
+        **kw,
+    )
+
+
+@pytest.fixture()
+def db():
+    return demo_database(seed=5, tuples=TUPLES)  # analyzed: degraded OK
+
+
+@pytest.fixture()
+def bare_db():
+    return demo_database(seed=5, tuples=TUPLES, analyze=False)
+
+
+class TestRetry:
+    def test_lethal_faults_retry_then_degrade(self, db):
+        sink = RecordingSink()
+        server = make_server(db, LETHAL_PLAN, sink=sink)
+        outcome = server.serve(request())
+        assert outcome.outcome is Outcome.DEGRADED
+        assert outcome.admitted
+        assert outcome.estimate is not None  # the zero-sampling answer
+        assert "2 attempt(s)" in outcome.reason
+        (retry,) = sink.of_kind("request_retried")
+        assert retry.attempt == 1
+        assert retry.backoff_seconds >= 0
+        assert "fault" in retry.reason
+
+    def test_zero_retries_disables_the_retry_leg(self, db):
+        sink = RecordingSink()
+        server = make_server(db, LETHAL_PLAN, sink=sink, max_fault_retries=0)
+        outcome = server.serve(request())
+        assert outcome.outcome is Outcome.DEGRADED
+        assert "1 attempt(s)" in outcome.reason
+        assert sink.of_kind("request_retried") == []
+
+    def test_backoff_is_charged_to_the_request_clock(self, db):
+        sink = RecordingSink()
+        server = make_server(db, LETHAL_PLAN, sink=sink, retry_backoff=0.1)
+        outcome = server.serve(request())
+        (retry,) = sink.of_kind("request_retried")
+        assert retry.backoff_seconds == pytest.approx(0.1)
+        # The stall happened on the shared clock inside the request window.
+        assert outcome.finished_at - outcome.started_at >= 0.1
+
+    def test_negative_retry_configuration_rejected(self, db):
+        with pytest.raises(ValueError):
+            QueryServer(db, max_fault_retries=-1)
+        with pytest.raises(ValueError):
+            QueryServer(db, retry_backoff=-0.1)
+
+
+class TestDegradedFallback:
+    def test_unanalyzed_database_misses_instead(self, bare_db):
+        server = make_server(bare_db, LETHAL_PLAN)
+        outcome = server.serve(request())
+        assert outcome.outcome is Outcome.MISSED
+        assert outcome.estimate is None
+
+    def test_statistics_free_query_misses_instead(self, db):
+        # Intersections are outside the prestored statistics' coverage, so
+        # there is no degraded answer to fall back to.
+        server = make_server(db, LETHAL_PLAN)
+        outcome = server.serve(
+            request(expr=intersect(rel("r1"), rel("r2")), quota=2.0)
+        )
+        assert outcome.outcome is Outcome.MISSED
+
+
+class TestTotalContractUnderFaults:
+    def test_faulted_stream_ends_in_typed_outcomes_only(self, db):
+        server = make_server(db, NOISY_PLAN)
+        requests = [
+            request(quota=0.5 + 0.25 * (i % 4), seed=100 + i, arrival=0.3 * i)
+            for i in range(12)
+        ]
+        outcomes = server.process(requests)
+        assert len(outcomes) == len(requests)
+        assert all(isinstance(o.outcome, Outcome) for o in outcomes)
+        answered = [o for o in outcomes if o.outcome is Outcome.ANSWERED]
+        assert answered, "faults at p=0.04 should not defeat every request"
+
+    def test_fault_events_are_traced(self, db):
+        sink = RecordingSink()
+        server = make_server(
+            db, FaultPlan(read_error_prob=0.10), sink=sink, trace_queries=True
+        )
+        server.process(
+            [request(seed=50 + i, arrival=0.5 * i) for i in range(8)]
+        )
+        assert sink.of_kind("fault_injected")  # injections visible in trace
+
+    def test_same_fault_seeds_reproduce_the_same_outcomes(self, db):
+        def run():
+            server = make_server(
+                demo_database(seed=5, tuples=TUPLES), NOISY_PLAN
+            )
+            outcomes = server.process(
+                [request(seed=70 + i, arrival=0.4 * i) for i in range(10)]
+            )
+            return [
+                (
+                    o.outcome,
+                    None if o.estimate is None else o.estimate.value,
+                    o.reason,
+                )
+                for o in outcomes
+            ]
+
+        assert run() == run()

@@ -1,8 +1,10 @@
 """Tests of QuerySession / ExecutionContext (repro.core.session).
 
 A session owns one run's mutable machinery; the Database facade's
-``count_estimate`` / ``sum_estimate`` / ``avg_estimate`` are one-line
-wrappers over ``open_session(...).run()``.
+``estimate`` entrypoint is a one-line wrapper over
+``open_session(...).run()``, and the legacy ``count_estimate`` /
+``sum_estimate`` / ``avg_estimate`` conveniences delegate to it with a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from repro.core.database import Database
 from repro.core.session import ExecutionContext, QuerySession
 from repro.costmodel.model import CostModel
 from repro.errors import ReproError
-from repro.estimation import avg_of
+from repro.estimation import avg_of, sum_of
 from repro.observability import NULL_SINK, RecordingSink
 from repro.relational import cmp, rel, select
 from repro.timecontrol.strategies import OneAtATimeInterval, SingleInterval
@@ -111,23 +113,45 @@ class TestSessionIndependence:
 
 
 class TestFacadeRoutesThroughSessions:
-    def test_count_estimate_equals_session_run(self, db):
-        via_facade = db.count_estimate(EXPR, quota=5.0, seed=3)
+    def test_estimate_equals_session_run(self, db):
+        via_facade = db.estimate(EXPR, quota=5.0, seed=3)
         via_session = db.open_session(EXPR, quota=5.0, seed=3).run()
         assert via_facade.estimate == via_session.estimate
         assert via_facade.report.termination == via_session.report.termination
 
-    def test_sum_estimate_sets_aggregate(self, db):
-        result = db.sum_estimate(EXPR, "a", quota=5.0, seed=3)
+    def test_estimate_sets_sum_aggregate(self, db):
+        result = db.estimate(EXPR, sum_of("a"), quota=5.0, seed=3)
         assert result.report.aggregate == "sum"
         assert result.estimate is not None
 
-    def test_avg_estimate_sets_aggregate(self, db):
-        result = db.avg_estimate(EXPR, "a", quota=5.0, seed=3)
+    def test_estimate_sets_avg_aggregate(self, db):
+        result = db.estimate(EXPR, avg_of("a"), quota=5.0, seed=3)
         assert result.report.aggregate == "avg"
         assert result.estimate is not None
         exact = db.aggregate(EXPR, avg_of("a"))
         assert result.estimate.value == pytest.approx(exact, rel=0.5)
+
+
+class TestDeprecatedWrappers:
+    def test_count_estimate_warns_and_delegates(self, db):
+        with pytest.warns(DeprecationWarning, match="count_estimate"):
+            via_wrapper = db.count_estimate(EXPR, quota=5.0, seed=3)
+        via_entrypoint = db.estimate(EXPR, quota=5.0, seed=3)
+        assert via_wrapper.estimate == via_entrypoint.estimate
+
+    def test_sum_estimate_warns_and_delegates(self, db):
+        with pytest.warns(DeprecationWarning, match="sum_estimate"):
+            via_wrapper = db.sum_estimate(EXPR, "a", quota=5.0, seed=3)
+        via_entrypoint = db.estimate(EXPR, sum_of("a"), quota=5.0, seed=3)
+        assert via_wrapper.estimate == via_entrypoint.estimate
+        assert via_wrapper.report.aggregate == "sum"
+
+    def test_avg_estimate_warns_and_delegates(self, db):
+        with pytest.warns(DeprecationWarning, match="avg_estimate"):
+            via_wrapper = db.avg_estimate(EXPR, "a", quota=5.0, seed=3)
+        via_entrypoint = db.estimate(EXPR, avg_of("a"), quota=5.0, seed=3)
+        assert via_wrapper.estimate == via_entrypoint.estimate
+        assert via_wrapper.report.aggregate == "avg"
 
     def test_invalid_selectivity_source_rejected(self, db):
         with pytest.raises(ReproError, match="selectivity_source"):

@@ -193,16 +193,16 @@ class TestDatabaseSelectivitySources:
     def test_prestored_requires_analyze(self, db):
         expr = select(rel("r1"), cmp("a", "<", 3))
         with pytest.raises(EstimationError, match="analyze"):
-            db.count_estimate(expr, quota=1.0, selectivity_source="prestored")
+            db.estimate(expr, quota=1.0, selectivity_source="prestored")
 
     def test_invalid_source_rejected(self, db):
         with pytest.raises(ReproError):
-            db.count_estimate(rel("r1"), quota=1.0, selectivity_source="psychic")
+            db.estimate(rel("r1"), quota=1.0, selectivity_source="psychic")
 
     def test_hybrid_runs_and_estimates(self, db):
         db.analyze()
         expr = select(rel("r1"), cmp("a", "<", 3))
-        result = db.count_estimate(
+        result = db.estimate(
             expr, quota=3.0, seed=3, selectivity_source="hybrid"
         )
         assert result.estimate is not None

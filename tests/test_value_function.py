@@ -77,7 +77,7 @@ class TestValueFunctionCriterion:
             rows=[(i, i % 10) for i in range(600)],
             block_size=16,
         )
-        result = db.count_estimate(
+        result = db.estimate(
             select(rel("r1"), cmp("a", "<", 4)),
             quota=60.0,
             strategy=OneAtATimeInterval(d_beta=24.0),
@@ -118,7 +118,7 @@ class TestMainMemoryProfile:
             setup = make_intersection_setup(seed=3, profile=profile)
             total = 0
             for i in range(10):
-                result = setup.database.count_estimate(
+                result = setup.database.estimate(
                     setup.query,
                     quota=setup.quota,
                     strategy=OneAtATimeInterval(d_beta=12.0),
