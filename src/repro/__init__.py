@@ -59,6 +59,13 @@ from repro.observability import (
     TraceEvent,
     TraceSink,
 )
+from repro.planner import (
+    PlanExplanation,
+    RuleApplication,
+    clear_plan_cache,
+    optimizer_enabled,
+    plan_cache_info,
+)
 from repro.relational import (
     attr,
     cmp,
@@ -119,10 +126,12 @@ __all__ = [
     "JsonlSink",
     "NullSink",
     "OneAtATimeInterval",
+    "PlanExplanation",
     "QueryOptions",
     "QueryResult",
     "QuerySession",
     "RecordingSink",
+    "RuleApplication",
     "RunReport",
     "TeeSink",
     "TraceEvent",
@@ -147,6 +156,7 @@ __all__ = [
     "WallClock",
     "attr",
     "avg_of",
+    "clear_plan_cache",
     "cmp",
     "count",
     "count_exact",
@@ -154,6 +164,8 @@ __all__ = [
     "expand_count",
     "intersect",
     "join",
+    "optimizer_enabled",
+    "plan_cache_info",
     "project",
     "rel",
     "select",

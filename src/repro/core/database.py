@@ -323,7 +323,54 @@ class Database:
             hint_provider=hint_provider,
             pin_selectivities=opts.selectivity_source == "prestored",
             vectorized=opts.vectorized,
+            optimize=opts.optimize,
         )
+
+    def explain(
+        self,
+        expr: Expression,
+        options: QueryOptions | None = None,
+        *,
+        aggregate: "AggregateSpec | None" = None,
+        **overrides,
+    ) -> "PlanExplanation":
+        """What the planner would do with ``expr`` — without running it.
+
+        Builds two probe sessions over the live catalog — one lowering the
+        query verbatim, one through the logical optimizer — and returns a
+        :class:`~repro.planner.explain.PlanExplanation`: the before/after
+        logical trees, the rule-application log, and the cost model's
+        predicted price of each plan's cheapest useful stage (the same
+        number the server's admission control rules on). Neither session is
+        ever run, so explaining charges nothing to any clock::
+
+            print(db.explain(expr).render())
+
+        ``options``/``overrides`` configure the probes like
+        :meth:`open_session` (e.g. ``selectivity_source='hybrid'`` explains
+        with prestored hints); any explicit ``optimize`` setting is ignored
+        since explain builds both variants by definition.
+        """
+        from repro.planner.explain import build_explanation
+
+        opts = (options if options is not None else QueryOptions()).replace(
+            **overrides
+        )
+        before = self.open_session(
+            expr,
+            quota=1.0,
+            options=opts.replace(optimize=False),
+            aggregate=aggregate,
+            seed=0,
+        )
+        after = self.open_session(
+            expr,
+            quota=1.0,
+            options=opts.replace(optimize=True),
+            aggregate=aggregate,
+            seed=0,
+        )
+        return build_explanation(before.plan, after.plan)
 
     def estimate(
         self,

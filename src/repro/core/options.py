@@ -45,6 +45,10 @@ class QueryOptions:
     ``None`` means "use the database's / engine's default". ``fault_plan``
     attaches a :class:`repro.faults.FaultPlan` so the run injects
     deterministic, seed-replayable faults (see :mod:`repro.faults`).
+    ``optimize`` selects the logical optimizer (:mod:`repro.planner`):
+    ``None`` honours the process-wide ``REPRO_OPTIMIZE`` switch (default
+    on); ``False`` lowers the expression verbatim, bit-identical to the
+    pre-planner engine.
     """
 
     strategy: "TimeControlStrategy | None" = None
@@ -61,6 +65,7 @@ class QueryOptions:
     trace_costs: bool = False
     clock: "Clock | None" = None
     vectorized: bool | None = None
+    optimize: bool | None = None
     block_size: int | None = None
     fault_plan: "FaultPlan | None" = None
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.catalog.catalog import Catalog
 from repro.core.result import QueryResult
+from repro.core.switches import resolve_switch
 from repro.costmodel.model import CostModel
 from repro.engine.plan import StagedPlan
 from repro.errors import ReproError
@@ -92,6 +93,7 @@ class QuerySession:
         hint_provider=None,
         pin_selectivities: bool = False,
         vectorized: bool | None = None,
+        optimize: bool | None = None,
     ) -> None:
         from repro.estimation.aggregates import COUNT
 
@@ -99,6 +101,8 @@ class QuerySession:
         self.quota = quota
         self.context = context
         self.label = f"session-{next(_session_counter)}"
+        # None → honour the process-wide REPRO_OPTIMIZE switch (default on).
+        self.optimize = resolve_switch(optimize, "REPRO_OPTIMIZE", default=True)
         self.strategy = (
             strategy if strategy is not None else OneAtATimeInterval(d_beta=24.0)
         )
@@ -118,6 +122,7 @@ class QuerySession:
             sink=context.sink,
             vectorized=vectorized,
             injector=context.injector,
+            optimize=self.optimize,
         )
         self.executor = TimeConstrainedExecutor(
             self.plan,

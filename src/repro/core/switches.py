@@ -1,0 +1,51 @@
+"""Process-wide feature switches resolved from the environment.
+
+Several engine features default to "on" but can be forced off for A/B
+comparison, CI matrix legs, and bit-identity regression runs:
+
+* ``REPRO_KERNELS`` — the vectorized columnar kernels
+  (:func:`repro.kernels.kernels_enabled`);
+* ``REPRO_OPTIMIZE`` — the logical query optimizer
+  (:func:`repro.planner.optimizer_enabled`).
+
+All switches share one resolution rule, implemented here once: the
+variable being unset means the built-in default, and any of the falsey
+spellings ``0`` / ``false`` / ``off`` / ``no`` (case-insensitive,
+whitespace-tolerant) means *off*; anything else means *on*. Switches are
+read at plan-construction time, never cached at import, so tests can flip
+them per query with ``monkeypatch.setenv``.
+
+This module must stay import-light (standard library only): it is imported
+from low-level packages such as :mod:`repro.kernels` while
+:mod:`repro.core` itself may still be mid-initialization.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSEY = ("0", "false", "off", "no")
+
+
+def env_switch(name: str, default: bool = True) -> bool:
+    """Resolve the boolean feature switch ``name`` from the environment.
+
+    Unset → ``default``. Set to ``0``/``false``/``off``/``no`` (any case)
+    → ``False``. Any other value → ``True``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSEY
+
+
+def resolve_switch(explicit: bool | None, name: str, default: bool = True) -> bool:
+    """An explicit per-call setting beats the environment switch.
+
+    The common pattern for optional engine features: ``None`` (the caller
+    expressed no preference) falls back to :func:`env_switch`; an explicit
+    ``True``/``False`` wins regardless of the environment.
+    """
+    if explicit is not None:
+        return explicit
+    return env_switch(name, default)

@@ -1,8 +1,11 @@
 """Staged query plans — wiring expressions to the staged engine.
 
-A :class:`StagedPlan` turns ``COUNT(E)`` into its inclusion–exclusion terms,
-builds one staged operator tree per term over **shared** per-relation scans,
-and exposes the three operations the time-constrained executor needs:
+A :class:`StagedPlan` optionally rewrites ``E`` through the logical
+optimizer (:mod:`repro.planner`; ``optimize=True``), turns ``COUNT(E)``
+into its inclusion–exclusion terms, lowers each term through
+:class:`~repro.engine.physical.PhysicalPlanBuilder` into a staged operator
+tree over **shared** per-relation scans, and exposes the three operations
+the time-constrained executor needs:
 
 * :meth:`predict_stage` — price a candidate sample fraction with the
   adaptive cost model (the ``QCOST(f, SEL⁺)`` of Section 3.3, summed over
@@ -25,14 +28,15 @@ from repro.costmodel.model import CostModel
 from repro.engine.nodes import (
     PredictContext,
     SelProvider,
-    StagedIntersect,
-    StagedJoin,
     StagedNode,
     StagedProject,
     StagedScan,
-    StagedSelect,
 )
-from repro.errors import EstimationError, ExpressionError
+from repro.engine.physical import (
+    DEFAULT_INITIAL_SELECTIVITY,
+    PhysicalPlanBuilder,
+)
+from repro.errors import EstimationError
 from repro.estimation.aggregates import (
     COUNT,
     AggregateSpec,
@@ -52,33 +56,27 @@ from repro.observability.trace import (
     NULL_SINK,
     NullSink,
     OperatorAdvance,
+    PlanOptimized,
+    RuleApplied,
     ScanAdvance,
     TraceSink,
 )
-from repro.relational.expression import (
-    Expression,
-    Intersect,
-    Join,
-    Project,
-    RelationRef,
-    Select,
-)
+from repro.relational.expression import Expression
 from repro.relational.inclusion_exclusion import expand_count
 from repro.sampling.point_space import PointSpace
-from repro.sampling.sampler import BlockSampler
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE
 from repro.timekeeping.charger import CostCharger
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
 
-DEFAULT_INITIAL_SELECTIVITY = {
-    "select": 1.0,
-    "join": 1.0,
-    "project": 1.0,
-    # Intersect defaults to 1/max(|r1|,|r2|) computed per node (Figure 3.3);
-    # an entry here overrides that.
-}
+__all__ = [
+    "DEFAULT_INITIAL_SELECTIVITY",  # re-exported from repro.engine.physical
+    "PhysicalPlanBuilder",
+    "StagedPlan",
+    "StagedTerm",
+    "StageStats",
+]
 
 
 @dataclass
@@ -168,6 +166,7 @@ class StagedPlan:
         sink: TraceSink | None = None,
         vectorized: bool | None = None,
         injector: "FaultInjector | None" = None,
+        optimize: bool = False,
     ) -> None:
         self.expr = expr
         # None → honour the process-wide REPRO_KERNELS switch (default on).
@@ -187,16 +186,56 @@ class StagedPlan:
         self.rng = rng
         self.block_size = block_size
         self.full_fulfillment = full_fulfillment
-        self._initial = dict(DEFAULT_INITIAL_SELECTIVITY)
-        if initial_selectivities:
-            self._initial.update(initial_selectivities)
 
         expr.schema(catalog)  # validate the query up front
-        from repro.storage.spool import Spool
+        # Phase 2 — logical optimization (the tree stays `expr` verbatim
+        # with optimize=False, preserving the pre-planner engine bit for
+        # bit; self.expr always keeps the query as written).
+        self.optimize = optimize
+        self.rule_applications = ()
+        self.plan_cache_hit = False
+        self.optimized_expr = expr
+        if optimize:
+            from repro.planner.rewrite import plan_logical
 
-        self.spool = Spool(block_size)
-        self._scans: dict[str, StagedScan] = {}
-        self._label_counter = 0
+            planned = plan_logical(expr, catalog, hint=hint_provider)
+            self.optimized_expr = planned.expression
+            self.rule_applications = planned.applications
+            self.plan_cache_hit = planned.cache_hit
+            if planned.applications and not isinstance(self.sink, NullSink):
+                for app in planned.applications:
+                    self.sink.emit(
+                        RuleApplied(
+                            rule=app.rule, before=app.before, after=app.after
+                        )
+                    )
+                self.sink.emit(
+                    PlanOptimized(
+                        before_hash=expr.structural_hash(),
+                        after_hash=self.optimized_expr.structural_hash(),
+                        rules=",".join(a.rule for a in planned.applications),
+                        rules_applied=len(planned.applications),
+                        cache_hit=planned.cache_hit,
+                        operators_before=expr.operator_count(),
+                        operators_after=self.optimized_expr.operator_count(),
+                    )
+                )
+
+        # Phase 3 — physical lowering over shared scans.
+        self._builder = PhysicalPlanBuilder(
+            catalog=catalog,
+            charger=charger,
+            cost_model=cost_model,
+            rng=rng,
+            block_size=block_size,
+            full_fulfillment=full_fulfillment,
+            vectorized=self.vectorized,
+            injector=injector,
+            initial_selectivities=initial_selectivities,
+            hint_provider=hint_provider,
+            pin_selectivities=pin_selectivities,
+        )
+        self.spool = self._builder.spool
         self.terms: list[StagedTerm] = []
         if aggregate.needs_values and expr.contains_projection():
             raise EstimationError(
@@ -204,8 +243,8 @@ class StagedPlan:
                 "(the population becomes groups, not tuples); aggregate "
                 "before projecting or use COUNT"
             )
-        for count_term in expand_count(expr):
-            root = self._build(count_term.expression)
+        for count_term in expand_count(self.optimized_expr):
+            root = self._builder.build(count_term.expression)
             scans = root.base_scans()
             space = PointSpace(
                 relation_names=tuple(s.relation.name for s in scans),
@@ -231,115 +270,11 @@ class StagedPlan:
         self.history: list[StageStats] = []
 
     # ------------------------------------------------------------------
-    # Tree construction
-    # ------------------------------------------------------------------
-    def _common_kwargs(self) -> dict:
-        return dict(
-            charger=self.charger,
-            cost_model=self.cost_model,
-            block_size=self.block_size,
-            full_fulfillment=self.full_fulfillment,
-            spool=self.spool,
-            vectorized=self.vectorized,
-            injector=self.injector,
-        )
-
-    def _next_label(self, kind: str) -> str:
-        self._label_counter += 1
-        return f"{kind}#{self._label_counter}"
-
-    def _initial_for(self, expr: Expression, default: float) -> tuple[float, bool]:
-        """Initial selectivity for an operator node and whether it came
-        from a prestored hint (Figure 3.3's maximum otherwise)."""
-        if self._hint_provider is not None:
-            hinted = self._hint_provider(expr)
-            if hinted is not None:
-                return min(max(hinted, 1e-12), 1.0), True
-        return default, False
-
-    def _finish_node(self, node: StagedNode, hinted: bool) -> StagedNode:
-        if hinted and self._pin_selectivities and node.tracker is not None:
-            node.tracker.pinned = True
-        return node
-
-    def _build(self, expr: Expression) -> StagedNode:
-        if isinstance(expr, RelationRef):
-            if expr.name not in self._scans:
-                relation = self.catalog.get(expr.name)
-                self._scans[expr.name] = StagedScan(
-                    relation,
-                    BlockSampler(relation, self.rng),
-                    **self._common_kwargs(),
-                )
-            return self._scans[expr.name]
-        if isinstance(expr, Select):
-            child = self._build(expr.child)
-            initial, hinted = self._initial_for(expr, self._initial["select"])
-            return self._finish_node(
-                StagedSelect(
-                    child,
-                    expr.predicate,
-                    label=self._next_label("select"),
-                    initial_selectivity=initial,
-                    **self._common_kwargs(),
-                ),
-                hinted,
-            )
-        if isinstance(expr, Project):
-            child = self._build(expr.child)
-            initial, hinted = self._initial_for(expr, self._initial["project"])
-            return self._finish_node(
-                StagedProject(
-                    child,
-                    expr.attrs,
-                    label=self._next_label("project"),
-                    initial_selectivity=initial,
-                    **self._common_kwargs(),
-                ),
-                hinted,
-            )
-        if isinstance(expr, Join):
-            left = self._build(expr.left)
-            right = self._build(expr.right)
-            initial, hinted = self._initial_for(expr, self._initial["join"])
-            return self._finish_node(
-                StagedJoin(
-                    left,
-                    right,
-                    expr.on,
-                    label=self._next_label("join"),
-                    initial_selectivity=initial,
-                    **self._common_kwargs(),
-                ),
-                hinted,
-            )
-        if isinstance(expr, Intersect):
-            left = self._build(expr.left)
-            right = self._build(expr.right)
-            default = self._initial.get(
-                "intersect", 1.0 / max(left.space_points(), right.space_points())
-            )
-            initial, hinted = self._initial_for(expr, default)
-            return self._finish_node(
-                StagedIntersect(
-                    left,
-                    right,
-                    label=self._next_label("intersect"),
-                    initial_selectivity=initial,
-                    **self._common_kwargs(),
-                ),
-                hinted,
-            )
-        raise ExpressionError(
-            f"non-SJIP node {type(expr).__name__} survived inclusion–exclusion"
-        )
-
-    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def scans(self) -> list[StagedScan]:
-        return list(self._scans.values())
+        return self._builder.scans
 
     def trackers(self) -> list[SelectivityTracker]:
         """All operator selectivity trackers, deduplicated, tree order."""

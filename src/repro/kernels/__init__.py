@@ -18,8 +18,7 @@ row-at-a-time operators, which remain the reference implementation.
 
 from __future__ import annotations
 
-import os
-
+from repro.core.switches import env_switch
 from repro.kernels.cache import (
     CompiledPredicate,
     cached_sort_key,
@@ -35,18 +34,16 @@ from repro.kernels.runs import (
     stable_lexsort,
 )
 
-_FALSEY = ("0", "false", "off", "no")
-
-
 def kernels_enabled() -> bool:
     """Process-wide default for the vectorized kernels (env-controlled).
 
     ``REPRO_KERNELS=0`` (or ``false``/``off``/``no``) forces the
     row-at-a-time fallback; anything else — including the variable being
     unset — enables the kernels. Read at plan construction time, so tests
-    can flip it per query.
+    can flip it per query. Resolution lives in
+    :func:`repro.core.switches.env_switch`, shared with ``REPRO_OPTIMIZE``.
     """
-    return os.environ.get("REPRO_KERNELS", "1").strip().lower() not in _FALSEY
+    return env_switch("REPRO_KERNELS", default=True)
 
 
 __all__ = [

@@ -154,6 +154,38 @@ class OperatorAdvance(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Planner (emitted by StagedPlan construction when rules fired)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuleApplied(TraceEvent):
+    """One optimizer rewrite rule fired on a subtree."""
+
+    kind: ClassVar[str] = "rule_applied"
+    rule: str = ""
+    before: str = ""
+    after: str = ""
+
+
+@dataclass(frozen=True)
+class PlanOptimized(TraceEvent):
+    """The logical optimizer rewrote the query (summary of the rule log).
+
+    Emitted once per optimized plan, after its :class:`RuleApplied`
+    events; ``rules`` is the comma-joined rule names in firing order
+    (scalar, so the event stays JSONL round-trippable).
+    """
+
+    kind: ClassVar[str] = "plan_optimized"
+    before_hash: str = ""
+    after_hash: str = ""
+    rules: str = ""
+    rules_applied: int = 0
+    cache_hit: bool = False
+    operators_before: int = 0
+    operators_after: int = 0
+
+
+# ----------------------------------------------------------------------
 # Estimator state (emitted by SelectivityTracker.record_stage)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -193,6 +225,8 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
         DeadlineAbort,
         ScanAdvance,
         OperatorAdvance,
+        RuleApplied,
+        PlanOptimized,
         SelectivityRevision,
         CostCharged,
     )

@@ -1,0 +1,104 @@
+"""The rule-based logical optimizer — phase 2 of query planning.
+
+Planning a query is a three-phase pipeline:
+
+1. **Logical IR** — the relational-algebra tree of
+   :mod:`repro.relational.expression`, with a canonical, order-stable
+   rendering (``canonical_str``/``structural_hash``) that gives
+   semantically equal queries one identity;
+2. **Rule-based optimization** (this package) — a fixpoint driver
+   (:mod:`repro.planner.rewrite`) runs algebra-preserving rewrite rules
+   (:mod:`repro.planner.rules`): selection fusion, predicate pushdown
+   through joins and set operations, projection pruning, set-operation
+   normalization, and selectivity-guided join-chain reordering. Outcomes
+   of purely algebraic planning are memoized process-wide
+   (:mod:`repro.planner.cache`);
+3. **Physical lowering** — :class:`repro.engine.physical.PhysicalPlanBuilder`
+   turns the (optimized or verbatim) tree into staged operator trees over
+   shared sampling scans.
+
+The optimizer is on by default and controlled like the kernels: per query
+via ``QueryOptions(optimize=...)`` / ``open_session(optimize=...)``, or
+process-wide via the ``REPRO_OPTIMIZE`` environment switch. With
+``optimize=False`` the expression is lowered verbatim — bit-identical to
+the engine before this package existed.
+
+``Database.explain(expr)`` surfaces what the planner did as a
+:class:`~repro.planner.explain.PlanExplanation`: before/after trees, the
+rule-application log, and per-stage predicted costs of both physical
+plans. The same pricing routine backs the server's admission control, so
+requests are admitted against the plan that will actually run.
+"""
+
+from __future__ import annotations
+
+from repro.core.switches import env_switch
+from repro.planner.cache import (
+    PlanCacheInfo,
+    clear_plan_cache,
+    plan_cache_info,
+)
+from repro.planner.explain import (
+    NodeCost,
+    PlanCosts,
+    PlanExplanation,
+    build_explanation,
+    predicted_stage_costs,
+    render_tree,
+)
+from repro.planner.rewrite import (
+    PlannedQuery,
+    optimize_expression,
+    plan_logical,
+)
+from repro.planner.rules import (
+    JoinChainReorder,
+    PredicatePushdown,
+    ProjectionPruning,
+    RewriteContext,
+    Rule,
+    RuleApplication,
+    SelectionFusion,
+    SetOpNormalize,
+    default_rules,
+    reorder_is_safe,
+)
+
+
+def optimizer_enabled() -> bool:
+    """Process-wide default for the logical optimizer (env-controlled).
+
+    ``REPRO_OPTIMIZE=0`` (or ``false``/``off``/``no``) lowers every query
+    verbatim; anything else — including the variable being unset — enables
+    the optimizer. Read at session-construction time, so tests can flip it
+    per query. Resolution lives in
+    :func:`repro.core.switches.env_switch`, shared with ``REPRO_KERNELS``.
+    """
+    return env_switch("REPRO_OPTIMIZE", default=True)
+
+
+__all__ = [
+    "JoinChainReorder",
+    "NodeCost",
+    "PlanCacheInfo",
+    "PlanCosts",
+    "PlanExplanation",
+    "PlannedQuery",
+    "PredicatePushdown",
+    "ProjectionPruning",
+    "RewriteContext",
+    "Rule",
+    "RuleApplication",
+    "SelectionFusion",
+    "SetOpNormalize",
+    "build_explanation",
+    "clear_plan_cache",
+    "default_rules",
+    "optimize_expression",
+    "optimizer_enabled",
+    "plan_cache_info",
+    "plan_logical",
+    "predicted_stage_costs",
+    "render_tree",
+    "reorder_is_safe",
+]

@@ -1,0 +1,99 @@
+"""Process-wide logical-plan cache keyed by canonical IR identity.
+
+Planning is pure tree rewriting and cheap, but the server executes the
+same query shapes over and over (the paper's fixed-mix workload
+assumption), and every :class:`~repro.core.session.QuerySession` plans at
+construction time — including the never-run probe sessions admission
+control prices requests with. Caching the logical phase makes repeat
+planning O(hash).
+
+The key is the query's :meth:`~repro.relational.expression.Expression.
+structural_hash` — so ``A ∩ B`` and ``B ∩ A``, or differently-ordered but
+equal selection formulas, share one entry — paired with a fingerprint of
+the referenced base relations' cardinalities, because
+:class:`~repro.planner.rules.JoinChainReorder` decides by estimated rows:
+loading different data into the same catalog names must miss, not replay a
+stale decision. Hint-dependent planning never touches the cache at all
+(see :func:`repro.planner.rewrite.plan_logical`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.planner.rules import RuleApplication
+from repro.relational.expression import Expression
+
+PLAN_CACHE_MAXSIZE = 256
+
+CacheKey = tuple[str, str]
+CacheValue = tuple[Expression, tuple[RuleApplication, ...]]
+
+_lock = threading.Lock()
+_cache: "OrderedDict[CacheKey, CacheValue]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    """Counters in the style of ``functools.lru_cache``'s ``cache_info``."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+def cache_key(expr: Expression, catalog: Catalog) -> CacheKey:
+    """(structural hash, base-relation size fingerprint) for ``expr``."""
+    parts = []
+    for name in sorted(set(expr.base_relations())):
+        relation = catalog.get(name)
+        parts.append(f"{name}:{relation.tuple_count}:{relation.block_count}")
+    return expr.structural_hash(), ";".join(parts)
+
+
+def lookup(key: CacheKey) -> CacheValue | None:
+    """Cached planning outcome for ``key``, refreshing LRU recency."""
+    global _hits, _misses
+    with _lock:
+        value = _cache.get(key)
+        if value is None:
+            _misses += 1
+            return None
+        _cache.move_to_end(key)
+        _hits += 1
+        return value
+
+
+def store(key: CacheKey, value: CacheValue) -> None:
+    """Insert a planning outcome, evicting the least recently used entry."""
+    with _lock:
+        _cache[key] = value
+        _cache.move_to_end(key)
+        while len(_cache) > PLAN_CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Current hit/miss/size counters of the process-wide plan cache."""
+    with _lock:
+        return PlanCacheInfo(
+            hits=_hits,
+            misses=_misses,
+            maxsize=PLAN_CACHE_MAXSIZE,
+            currsize=len(_cache),
+        )
+
+
+def clear_plan_cache() -> None:
+    """Drop all entries and reset counters (tests; catalog reloads)."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

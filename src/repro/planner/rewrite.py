@@ -1,0 +1,160 @@
+"""The fixpoint rewrite driver — phase 2 of the three-phase planner.
+
+Phase 1 is the logical IR itself (:mod:`repro.relational.expression` trees
+with a canonical form); phase 3 is physical lowering
+(:class:`repro.engine.physical.PhysicalPlanBuilder`). This module sits
+between them: it runs a rule set over the tree bottom-up until no rule
+fires, recording every application for ``Database.explain`` and the trace
+stream.
+
+Determinism contract: given the same expression, catalog, and hint state,
+the driver visits nodes in the same order, tries rules in the same order,
+and therefore produces the same optimized tree and the same application
+log. There is no randomness and no wall-clock dependence anywhere in the
+planner — a rewritten query is exactly as replayable as a verbatim one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ExpressionError
+from repro.planner import cache as plan_cache
+from repro.planner.rules import (
+    HintProvider,
+    JoinChainReorder,
+    RewriteContext,
+    Rule,
+    RuleApplication,
+    default_rules,
+    reorder_is_safe,
+)
+from repro.relational.expression import (
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+)
+
+MAX_PASSES = 32
+"""Fixpoint safety valve: the rule set converges in a handful of passes on
+any realistic tree; hitting this bound means a rule pair oscillates and is
+a planner bug, reported loudly rather than looped forever."""
+
+
+def _rebuild(node: Expression, children: tuple[Expression, ...]) -> Expression:
+    """Copy ``node`` over new children (identity when nothing changed)."""
+    if all(new is old for new, old in zip(children, node.children())):
+        return node
+    if isinstance(node, Select):
+        return Select(children[0], node.predicate)
+    if isinstance(node, Project):
+        return Project(children[0], node.attrs)
+    if isinstance(node, Join):
+        return Join(children[0], children[1], node.on)
+    if isinstance(node, (Union, Intersect, Difference)):
+        return type(node)(children[0], children[1])
+    raise ExpressionError(f"cannot rebuild node {type(node).__name__}")
+
+
+def _apply_once(
+    node: Expression,
+    rules: list[Rule],
+    ctx: RewriteContext,
+    log: list[RuleApplication],
+) -> Expression:
+    """One bottom-up pass: rewrite children first, then try rules here.
+
+    At each node the first matching rule wins and the pass moves on; the
+    next pass revisits the whole tree, so rules enabled by another rule's
+    output (fuse, then push) fire on the following iteration.
+    """
+    if not isinstance(node, RelationRef):
+        children = tuple(
+            _apply_once(child, rules, ctx, log) for child in node.children()
+        )
+        node = _rebuild(node, children)
+    for rule in rules:
+        replacement = rule.apply(node, ctx)
+        if replacement is not None and replacement != node:
+            log.append(
+                RuleApplication(
+                    rule=rule.name, before=str(node), after=str(replacement)
+                )
+            )
+            return replacement
+    return node
+
+
+def optimize_expression(
+    expr: Expression,
+    catalog: Catalog,
+    hint: HintProvider | None = None,
+    rules: list[Rule] | None = None,
+    max_passes: int = MAX_PASSES,
+) -> tuple[Expression, tuple[RuleApplication, ...]]:
+    """Rewrite ``expr`` to fixpoint; returns (optimized, applications).
+
+    ``hint`` is an optional prestored-selectivity callable (see
+    :class:`repro.planner.rules.RewriteContext`); it sharpens
+    :class:`~repro.planner.rules.JoinChainReorder`'s cardinality estimates
+    but is never required. The reorder rule is dropped up front whenever
+    :func:`~repro.planner.rules.reorder_is_safe` rejects the query (column
+    order observable through set operations or ``_r`` renames).
+    """
+    if rules is None:
+        rules = default_rules()
+    if any(isinstance(r, JoinChainReorder) for r in rules):
+        if not reorder_is_safe(expr, catalog):
+            rules = [r for r in rules if not isinstance(r, JoinChainReorder)]
+    ctx = RewriteContext(catalog, hint)
+    log: list[RuleApplication] = []
+    current = expr
+    for _ in range(max_passes):
+        rewritten = _apply_once(current, rules, ctx, log)
+        if rewritten == current:
+            return current, tuple(log)
+        current = rewritten
+    raise ExpressionError(
+        f"optimizer did not converge within {max_passes} passes on "
+        f"{expr.canonical_str()!r}; last form {current.canonical_str()!r}"
+    )
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """Outcome of logical planning: the tree to lower, and how it got there."""
+
+    expression: Expression
+    applications: tuple[RuleApplication, ...]
+    cache_hit: bool
+
+
+def plan_logical(
+    expr: Expression,
+    catalog: Catalog,
+    hint: HintProvider | None = None,
+) -> PlannedQuery:
+    """Optimize ``expr``, consulting the process-wide plan cache.
+
+    Caching is restricted to purely algebraic planning: when a prestored
+    ``hint`` callable is present the rewrite outcome depends on statistics
+    state that is not cheaply fingerprintable, so the cache is bypassed and
+    the query is planned fresh (a cache hit must be indistinguishable from
+    fresh planning — determinism beats reuse).
+    """
+    if hint is not None:
+        optimized, applications = optimize_expression(expr, catalog, hint)
+        return PlannedQuery(optimized, applications, cache_hit=False)
+    key = plan_cache.cache_key(expr, catalog)
+    cached = plan_cache.lookup(key)
+    if cached is not None:
+        return PlannedQuery(cached[0], cached[1], cache_hit=True)
+    optimized, applications = optimize_expression(expr, catalog)
+    plan_cache.store(key, (optimized, applications))
+    return PlannedQuery(optimized, applications, cache_hit=False)

@@ -1,0 +1,355 @@
+"""Rewrite rules — the optimizer's algebra-preserving transformations.
+
+Each rule is a small object with a ``name`` and an ``apply(node, ctx)``
+method that either returns a rewritten replacement for *that node* or
+``None`` (no match). Traversal, fixpoint iteration, and bookkeeping live in
+:mod:`repro.planner.rewrite`; rules stay local and composable.
+
+The correctness contract every rule must honour (property-tested in
+``tests/test_planner_property.py``):
+
+* **exact equality** — the rewritten tree evaluates to the same relation
+  under :class:`~repro.relational.evaluator.ExactEvaluator` (for
+  :class:`JoinChainReorder`, the same relation up to column order — see its
+  docstring for why that is the one permitted relaxation and how it is
+  gated);
+* **schema preservation** — the output schema's name→type mapping is
+  unchanged (and, for every rule but :class:`JoinChainReorder`, the
+  attribute order too);
+* **estimator neutrality** — the rewritten tree's ``COUNT``/``SUM``/``AVG``
+  estimates stay unbiased: rules change *where* work happens, never the
+  indicator function summed over the point space.
+
+Why these rewrites matter here: the time-constrained executor spends its
+quota wherever the operator tree tells it to, so a query written
+``join→select`` sorts and merges strictly more tuples per sampling stage
+than the equivalent ``select→join``. Cheaper stages mean the Figure 3.4
+bisection affords larger sample fractions inside each interval — more
+sample per second of quota, tighter confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.relational.expression import (
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+)
+from repro.relational.predicate import (
+    And,
+    Attr,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+HintProvider = Callable[[Expression], "float | None"]
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """One rule firing: which rule rewrote which subtree into what."""
+
+    rule: str
+    before: str
+    after: str
+
+
+class RewriteContext:
+    """What a rule may consult: the catalog and optional selectivity hints.
+
+    ``hint`` is the prestored-statistics hint callable of
+    :class:`repro.statistics.prestored.SelectivityHinter` when the query
+    runs with ``selectivity_source='hybrid'/'prestored'``; without analyzed
+    statistics the context falls back to the paper's maximum-selectivity
+    assumption (selectivity 1), which reduces size estimates to products of
+    base-relation cardinalities.
+    """
+
+    def __init__(self, catalog: Catalog, hint: HintProvider | None = None) -> None:
+        self.catalog = catalog
+        self.hint = hint
+
+    def schema_of(self, expr: Expression) -> Schema:
+        return expr.schema(self.catalog)
+
+    def selectivity(self, expr: Expression) -> float | None:
+        if self.hint is None:
+            return None
+        return self.hint(expr)
+
+    def estimated_rows(self, expr: Expression) -> float:
+        """Estimated output cardinality of ``expr``.
+
+        Point-space size (product of base-relation tuple counts) scaled by
+        the prestored selectivity hint when one is available, by 1.0 (the
+        maximum-selectivity assumption of Figure 3.3) otherwise.
+        """
+        space = 1.0
+        for name in expr.base_relations():
+            space *= max(self.catalog.get(name).tuple_count, 1)
+        selectivity = self.selectivity(expr)
+        return space if selectivity is None else selectivity * space
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """One rewrite rule: matches a node and proposes a replacement."""
+
+    name: str
+
+    def apply(self, node: Expression, ctx: RewriteContext) -> Expression | None:
+        """Rewritten replacement for ``node``, or ``None`` if no match."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Predicate helpers
+# ----------------------------------------------------------------------
+def conjuncts(predicate: Predicate) -> list[Predicate]:
+    """Flatten nested conjunctions into a list of conjunct formulas."""
+    if isinstance(predicate, And):
+        out: list[Predicate] = []
+        for part in predicate.parts:
+            out.extend(conjuncts(part))
+        return out
+    return [predicate]
+
+
+def and_of(parts: list[Predicate]) -> Predicate:
+    """Rebuild a conjunction (single part stays bare, not wrapped)."""
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def rename_predicate(predicate: Predicate, mapping: dict[str, str]) -> Predicate:
+    """Rewrite every attribute reference through ``mapping`` (id if absent)."""
+    if isinstance(predicate, Comparison):
+        value = predicate.value
+        if isinstance(value, Attr):
+            value = Attr(mapping.get(value.name, value.name))
+        return Comparison(mapping.get(predicate.attr, predicate.attr), predicate.op, value)
+    if isinstance(predicate, And):
+        return And(tuple(rename_predicate(p, mapping) for p in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(tuple(rename_predicate(p, mapping) for p in predicate.parts))
+    if isinstance(predicate, Not):
+        return Not(rename_predicate(predicate.part, mapping))
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    raise TypeError(f"unknown predicate node {type(predicate).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class SelectionFusion:
+    """``σ_p(σ_q(x)) → σ_{q∧p}(x)`` — one pass over the input, not two.
+
+    The staged select charges one ``SELECT_CHECK`` per *input* tuple; a
+    stack of selections re-scans its shrinking input once per level, while
+    the fused formula decides every conjunct in a single pass. The
+    comparison count (the cost-model feature) is the sum either way.
+    """
+
+    name = "fuse-selections"
+
+    def apply(self, node: Expression, ctx: RewriteContext) -> Expression | None:
+        if not (isinstance(node, Select) and isinstance(node.child, Select)):
+            return None
+        inner = node.child
+        merged = conjuncts(inner.predicate) + conjuncts(node.predicate)
+        return Select(inner.child, and_of(merged))
+
+
+class PredicatePushdown:
+    """Push selections below joins, set operations, and projections.
+
+    * ``σ_p(x ⋈ y)`` — each conjunct of ``p`` whose attributes all come
+      from one input moves into that input (right-side attributes are
+      mapped back through the join's ``_r`` rename);
+    * ``σ_p(x ∪/∩/− y) → σ_p(x) ∪/∩/− σ_p(y)`` (valid for difference too:
+      ``p ∧ (x ∧ ¬y) ≡ (p ∧ x) ∧ ¬(p ∧ y)``);
+    * ``σ_p(π_a(x)) → π_a(σ_p(x))`` — ``p`` only sees projected attributes,
+      and every duplicate-group is constant on them, so filtering groups
+      equals filtering rows; the selection then runs *before* the
+      projection's sort + dedupe.
+
+    This is the optimizer's main lever: every tuple removed early is a
+    tuple the per-stage sorts and merges of Figures 4.4–4.7 never touch.
+    """
+
+    name = "push-predicates"
+
+    def apply(self, node: Expression, ctx: RewriteContext) -> Expression | None:
+        if not isinstance(node, Select):
+            return None
+        child = node.child
+        if isinstance(child, Project):
+            return Project(Select(child.child, node.predicate), child.attrs)
+        if isinstance(child, (Union, Intersect, Difference)):
+            return type(child)(
+                Select(child.left, node.predicate),
+                Select(child.right, node.predicate),
+            )
+        if isinstance(child, Join):
+            return self._push_into_join(node, child, ctx)
+        return None
+
+    def _push_into_join(
+        self, node: Select, join: Join, ctx: RewriteContext
+    ) -> Expression | None:
+        left_schema = ctx.schema_of(join.left)
+        right_schema = ctx.schema_of(join.right)
+        out_schema = ctx.schema_of(join)
+        # Output position -> (side, original child attribute name). The
+        # join renames right-side clashes with an ``_r`` suffix; predicates
+        # above reference output names, children reference originals.
+        left_arity = left_schema.arity
+        to_right_original = {
+            out_schema.names[left_arity + i]: right_schema.names[i]
+            for i in range(right_schema.arity)
+        }
+        pushed_left: list[Predicate] = []
+        pushed_right: list[Predicate] = []
+        kept: list[Predicate] = []
+        for conjunct in conjuncts(node.predicate):
+            positions = [out_schema.index_of(a) for a in conjunct.attributes()]
+            if positions and all(p < left_arity for p in positions):
+                pushed_left.append(conjunct)
+            elif positions and all(p >= left_arity for p in positions):
+                pushed_right.append(rename_predicate(conjunct, to_right_original))
+            else:  # attribute-free (TruePredicate) or straddling both sides
+                kept.append(conjunct)
+        if not pushed_left and not pushed_right:
+            return None
+        new_left = (
+            Select(join.left, and_of(pushed_left)) if pushed_left else join.left
+        )
+        new_right = (
+            Select(join.right, and_of(pushed_right)) if pushed_right else join.right
+        )
+        rebuilt: Expression = Join(new_left, new_right, join.on)
+        if kept:
+            rebuilt = Select(rebuilt, and_of(kept))
+        return rebuilt
+
+
+class ProjectionPruning:
+    """``π_a(π_b(x)) → π_a(x)`` — the outer projection subsumes the inner.
+
+    Validity needs ``a ⊆ b``, which schema validation guarantees (the outer
+    attribute list resolved against the inner projection's output). Under
+    set semantics the inner dedupe is redundant: distinct-on-``a`` of
+    distinct-on-``b`` rows equals distinct-on-``a`` of the raw rows. The
+    staged engine then builds one Goodman-estimated projection node instead
+    of two stacked sorts.
+    """
+
+    name = "prune-projections"
+
+    def apply(self, node: Expression, ctx: RewriteContext) -> Expression | None:
+        if isinstance(node, Project) and isinstance(node.child, Project):
+            return Project(node.child.child, node.attrs)
+        return None
+
+
+class SetOpNormalize:
+    """Normalize set operations: idempotence and stable operand order.
+
+    ``x ∪ x → x`` and ``x ∩ x → x`` (structural equality), sparing the
+    inclusion–exclusion expansion a term it would only cancel; and the
+    operands of the commutative operations are put into canonical order, so
+    ``A ∩ B`` and ``B ∩ A`` share one plan-cache entry and one staged
+    shape. Operand swap is schema-exact: set-operation inputs are
+    attribute-compatible (same names, same types, same order).
+    """
+
+    name = "normalize-set-ops"
+
+    def apply(self, node: Expression, ctx: RewriteContext) -> Expression | None:
+        if not isinstance(node, (Union, Intersect)):
+            return None
+        if node.left == node.right:
+            return node.left
+        if node.right.canonical_str() < node.left.canonical_str():
+            return type(node)(node.right, node.left)
+        return None
+
+
+class JoinChainReorder:
+    """Reorder left-deep join chains so the smaller join runs innermost.
+
+    ``(x ⋈₁ y) ⋈₂ z → (x ⋈₂ z) ⋈₁ y`` when ⋈₂'s left attributes all come
+    from ``x`` and the estimated cardinality of ``x ⋈ z`` is strictly below
+    that of ``x ⋈ y`` (prestored join/selection hints when the relations
+    were analyzed, base cardinalities under the maximum-selectivity
+    assumption otherwise). The inner join's output is every later stage's
+    sort-and-merge input, so shrinking it shrinks each stage of the outer
+    join.
+
+    The rewrite permutes output *column order* (``x,y,z`` → ``x,z,y``
+    column blocks) while preserving the relation as a set of named tuples.
+    Since whole-row operations are order-sensitive, the driver enables this
+    rule only on trees where column order is unobservable: no set
+    operations anywhere in the query, and no join whose input names clash
+    (so the ``_r`` rename never fires and every attribute keeps one global
+    name). See :func:`reorder_is_safe`.
+    """
+
+    name = "reorder-join-inputs"
+
+    def apply(self, node: Expression, ctx: RewriteContext) -> Expression | None:
+        if not (isinstance(node, Join) and isinstance(node.left, Join)):
+            return None
+        inner, outer_on = node.left, node.on
+        x, y, z = inner.left, inner.right, node.right
+        x_names = set(ctx.schema_of(x).names)
+        if not all(left_attr in x_names for left_attr, _ in outer_on):
+            return None
+        candidate_inner = Join(x, z, outer_on)
+        if ctx.estimated_rows(candidate_inner) >= ctx.estimated_rows(inner):
+            return None
+        return Join(candidate_inner, y, inner.on)
+
+
+def reorder_is_safe(expr: Expression, catalog: Catalog) -> bool:
+    """May :class:`JoinChainReorder` run on this query at all?
+
+    Column order must be unobservable: no Union/Intersect/Difference node
+    (whole-row comparisons), and no join with clashing input names (the
+    ``_r`` rename would bind different columns after a swap).
+    """
+    for node in expr.walk():
+        if isinstance(node, (Union, Intersect, Difference)):
+            return False
+        if isinstance(node, Join):
+            left = set(node.left.schema(catalog).names)
+            right = set(node.right.schema(catalog).names)
+            if left & right:
+                return False
+    return True
+
+
+def default_rules() -> list[Rule]:
+    """The standard rule set, in deterministic application order."""
+    return [
+        SelectionFusion(),
+        PredicatePushdown(),
+        ProjectionPruning(),
+        SetOpNormalize(),
+        JoinChainReorder(),
+    ]

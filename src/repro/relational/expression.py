@@ -31,6 +31,7 @@ or chain the equivalent fluent methods, which build the identical tree::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -77,6 +78,31 @@ class Expression:
     def operator_count(self) -> int:
         """Number of operator nodes (excluding relation references)."""
         return sum(1 for n in self.walk() if not isinstance(n, RelationRef))
+
+    # ------------------------------------------------------------------
+    # Canonical form — the optimizer's logical-IR identity
+    # ------------------------------------------------------------------
+    def canonical_str(self) -> str:
+        """Order-stable, content-complete rendering of the tree.
+
+        Unlike ``str(expr)``, which mirrors how the tree was written, the
+        canonical form renders semantically equal trees identically:
+        operands of the commutative set operations (Union, Intersect) and
+        the attribute pairs of a Join appear in sorted order, and selection
+        formulas use :meth:`Predicate.canonical_str` (sorted And/Or
+        operands). It is the logical identity the planner keys its plan
+        cache on — see :meth:`structural_hash`.
+        """
+        return self._render(canonical=True)
+
+    def structural_hash(self) -> str:
+        """Hex digest of :meth:`canonical_str` (the plan-cache key)."""
+        return hashlib.sha256(
+            self._render(canonical=True).encode("utf-8")
+        ).hexdigest()
+
+    def _render(self, canonical: bool) -> str:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Fluent construction — chainable equivalents of the module builders
@@ -133,6 +159,9 @@ class RelationRef(Expression):
     def children(self) -> tuple[Expression, ...]:
         return ()
 
+    def _render(self, canonical: bool) -> str:
+        return self.name
+
     def __str__(self) -> str:
         return self.name
 
@@ -153,8 +182,14 @@ class Select(Expression):
     def children(self) -> tuple[Expression, ...]:
         return (self.child,)
 
+    def _render(self, canonical: bool) -> str:
+        return (
+            f"select({self.child._render(canonical)}; "
+            f"{self.predicate.canonical_str()})"
+        )
+
     def __str__(self) -> str:
-        return f"select({self.child})"
+        return self._render(canonical=False)
 
 
 @dataclass(frozen=True)
@@ -174,8 +209,11 @@ class Project(Expression):
     def children(self) -> tuple[Expression, ...]:
         return (self.child,)
 
+    def _render(self, canonical: bool) -> str:
+        return f"project({self.child._render(canonical)}; {','.join(self.attrs)})"
+
     def __str__(self) -> str:
-        return f"project({self.child}; {','.join(self.attrs)})"
+        return self._render(canonical=False)
 
 
 @dataclass(frozen=True)
@@ -210,9 +248,16 @@ class Join(Expression):
     def children(self) -> tuple[Expression, ...]:
         return (self.left, self.right)
 
+    def _render(self, canonical: bool) -> str:
+        on = sorted(self.on) if canonical else self.on
+        pairs = ",".join(f"{a}={b}" for a, b in on)
+        return (
+            f"join({self.left._render(canonical)}, "
+            f"{self.right._render(canonical)}; {pairs})"
+        )
+
     def __str__(self) -> str:
-        pairs = ",".join(f"{a}={b}" for a, b in self.on)
-        return f"join({self.left}, {self.right}; {pairs})"
+        return self._render(canonical=False)
 
 
 class _SetOperation(Expression):
@@ -231,8 +276,15 @@ class _SetOperation(Expression):
     def children(self) -> tuple[Expression, ...]:
         return (self.left, self.right)
 
+    def _render(self, canonical: bool) -> str:
+        left = self.left._render(canonical)
+        right = self.right._render(canonical)
+        if canonical and self._opname in ("union", "intersect") and right < left:
+            left, right = right, left  # commutative: operand-order stable
+        return f"{self._opname}({left}, {right})"
+
     def __str__(self) -> str:
-        return f"{self._opname}({self.left}, {self.right})"
+        return self._render(canonical=False)
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,14 @@ class Predicate:
         """Attribute names referenced by the formula."""
         raise NotImplementedError
 
+    def canonical_str(self) -> str:
+        """Order-stable rendering: equal formulas modulo And/Or operand
+        order render identically (feeds the expression plan-cache key)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.canonical_str()
+
     # Convenience combinators -------------------------------------------------
     def __and__(self, other: "Predicate") -> "Predicate":
         return And((self, other))
@@ -121,6 +129,11 @@ class Comparison(Predicate):
             names.add(self.value.name)
         return names
 
+    def canonical_str(self) -> str:
+        if isinstance(self.value, Attr):
+            return f"{self.attr}{self.op}@{self.value.name}"
+        return f"{self.attr}{self.op}{self.value!r}"
+
 
 @dataclass(frozen=True)
 class Attr:
@@ -153,6 +166,10 @@ class And(Predicate):
     def attributes(self) -> set[str]:
         return set().union(*(p.attributes() for p in self.parts))
 
+    def canonical_str(self) -> str:
+        rendered = sorted(p.canonical_str() for p in self.parts)
+        return "(" + " & ".join(rendered) + ")"
+
 
 @dataclass(frozen=True)
 class Or(Predicate):
@@ -178,6 +195,10 @@ class Or(Predicate):
     def attributes(self) -> set[str]:
         return set().union(*(p.attributes() for p in self.parts))
 
+    def canonical_str(self) -> str:
+        rendered = sorted(p.canonical_str() for p in self.parts)
+        return "(" + " | ".join(rendered) + ")"
+
 
 @dataclass(frozen=True)
 class Not(Predicate):
@@ -199,6 +220,9 @@ class Not(Predicate):
     def attributes(self) -> set[str]:
         return self.part.attributes()
 
+    def canonical_str(self) -> str:
+        return f"!{self.part.canonical_str()}"
+
 
 @dataclass(frozen=True)
 class TruePredicate(Predicate):
@@ -215,6 +239,9 @@ class TruePredicate(Predicate):
 
     def attributes(self) -> set[str]:
         return set()
+
+    def canonical_str(self) -> str:
+        return "true"
 
 
 def attr(name: str) -> Attr:

@@ -32,7 +32,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.session import QuerySession
-from repro.costmodel import steps as step_names
+from repro.planner.explain import predicted_stage_costs
 from repro.server.request import QueryRequest
 
 
@@ -76,27 +76,19 @@ class AdmissionDecision:
     reason: str
 
 
-def _initial_sel_provider(tracker, new_points, space_points):
-    """Initial/running mean selectivity — no risk inflation for pricing."""
-    if tracker.stages_observed == 0:
-        return tracker.initial
-    return tracker.effective_sel_prev()
-
-
 def minimum_stage_cost(session: QuerySession) -> float:
     """Price of the cheapest useful stage of ``session``'s plan (seconds).
 
     Stage overhead plus ``QCOST`` at the minimum feasible fraction (one new
     block on the smallest relation), under the plan's initial selectivities.
     Evaluated on a probe session that is never run, so pricing charges
-    nothing to any clock.
+    nothing to any clock. The pricing routine is shared with
+    ``Database.explain`` (:func:`repro.planner.explain.
+    predicted_stage_costs`), and the probe plan is built exactly like the
+    dispatch plan — optimizer included — so admission rules on the plan
+    that will actually execute.
     """
-    plan = session.plan
-    overhead = plan.cost_model.predict(step_names.STAGE_OVERHEAD, [1.0])
-    fraction = plan.min_feasible_fraction()
-    if fraction <= 0:  # nothing left to sample — only overhead remains
-        return overhead
-    return overhead + plan.predict_stage(fraction, _initial_sel_provider)
+    return predicted_stage_costs(session.plan).total
 
 
 class AdmissionPolicy:

@@ -1,0 +1,255 @@
+"""Database.explain, the REPRO_OPTIMIZE switch, planner trace events, and
+the optimize=False bit-identity contract."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.options import QueryOptions
+from repro.observability import RecordingSink
+from repro.planner import clear_plan_cache, optimizer_enabled
+from repro.planner.explain import render_tree
+from repro.relational.expression import intersect, join, project, rel, select
+from repro.relational.predicate import cmp
+from repro.server.admission import minimum_stage_cost
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def build_db(seed: int = 7) -> Database:
+    db = Database(seed=seed)
+    db.create_relation(
+        "orders",
+        [("oid", "int"), ("qty", "int"), ("pid", "int")],
+        rows=[(i, i % 50, i % 20) for i in range(2_000)],
+    )
+    db.create_relation(
+        "parts",
+        [("part", "int"), ("w", "int")],
+        rows=[(i, i % 7) for i in range(200)],
+    )
+    return db
+
+
+def pushable():
+    return select(
+        join(rel("orders"), rel("parts"), on=[("pid", "part")]),
+        cmp("qty", ">", 40),
+    )
+
+
+# ----------------------------------------------------------------------
+# Database.explain
+# ----------------------------------------------------------------------
+def test_explain_shows_rewrite_and_cheaper_stage():
+    explanation = build_db().explain(pushable())
+    assert explanation.optimized
+    assert [a.rule for a in explanation.applications] == ["push-predicates"]
+    # Trees: selection above the join before, below it after.
+    assert str(explanation.before).startswith("select(")
+    assert str(explanation.after).startswith("join(")
+    # Per-stage predicted costs itemized for both plans, scans included.
+    before_labels = {n.label for n in explanation.before_costs.nodes}
+    assert {"scan(orders)", "scan(parts)"} <= before_labels
+    assert explanation.before_costs.total > 0
+    assert explanation.after_costs.total > 0
+    # Pushdown makes the cheapest useful stage strictly cheaper.
+    assert explanation.after_costs.total < explanation.before_costs.total
+    assert explanation.predicted_speedup > 1.0
+
+
+def test_explain_render_is_complete():
+    explanation = build_db().explain(pushable())
+    text = explanation.render()
+    for section in (
+        "logical plan (as written)",
+        "rewrites",
+        "logical plan (optimized)",
+        "push-predicates",
+        "predicted minimum stage",
+        "speedup",
+    ):
+        assert section in text
+    assert text == str(explanation)
+
+
+def test_explain_trivial_query_reports_no_rewrites():
+    explanation = build_db().explain(select(rel("orders"), cmp("qty", ">", 40)))
+    assert not explanation.optimized
+    assert explanation.applications == ()
+    assert explanation.before == explanation.after
+    assert explanation.predicted_speedup == pytest.approx(1.0)
+    assert "(no rule fired)" in explanation.render()
+
+
+def test_explain_second_call_reports_cache_hit():
+    db = build_db()
+    assert not db.explain(pushable()).cache_hit
+    assert db.explain(pushable()).cache_hit
+
+
+def test_render_tree_box_drawing():
+    text = render_tree(pushable())
+    lines = text.splitlines()
+    assert lines[0] == "select [qty>40]"
+    assert any("join [pid=part]" in line for line in lines)
+    assert any(line.endswith("orders") for line in lines)
+    assert any("└─ parts" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Switch resolution: explicit > options > environment
+# ----------------------------------------------------------------------
+def test_optimizer_enabled_follows_env(monkeypatch):
+    monkeypatch.delenv("REPRO_OPTIMIZE", raising=False)
+    assert optimizer_enabled()
+    monkeypatch.setenv("REPRO_OPTIMIZE", "0")
+    assert not optimizer_enabled()
+    monkeypatch.setenv("REPRO_OPTIMIZE", "off")
+    assert not optimizer_enabled()
+    monkeypatch.setenv("REPRO_OPTIMIZE", "1")
+    assert optimizer_enabled()
+
+
+def test_session_resolves_optimize_from_env(monkeypatch):
+    db = build_db()
+    monkeypatch.setenv("REPRO_OPTIMIZE", "0")
+    off = db.open_session(pushable(), quota=5.0, seed=0)
+    assert not off.optimize and off.plan.rule_applications == ()
+    assert off.plan.optimized_expr == pushable()
+    # An explicit option beats the environment.
+    forced = db.open_session(
+        pushable(), quota=5.0, seed=0, options=QueryOptions(optimize=True)
+    )
+    assert forced.optimize and forced.plan.rule_applications
+    monkeypatch.delenv("REPRO_OPTIMIZE", raising=False)
+    default = db.open_session(pushable(), quota=5.0, seed=0)
+    assert default.optimize
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: optimize=False is the pre-planner engine
+# ----------------------------------------------------------------------
+def run_signature(db, seed, **kwargs):
+    session = db.open_session(pushable(), quota=2_000.0, seed=seed, **kwargs)
+    result = session.run()
+    report = result.report
+    return (
+        None if result.estimate is None else
+        (result.estimate.value, result.estimate.variance),
+        report.termination,
+        [(s.fraction, s.blocks_read, s.new_points) for s in report.stages],
+        session.plan.blocks_drawn(),
+        session.charger.clock.now(),
+    )
+
+
+def test_optimize_off_paths_are_identical(monkeypatch):
+    baseline = run_signature(build_db(), 3, optimize=False)
+    monkeypatch.setenv("REPRO_OPTIMIZE", "0")
+    via_env = run_signature(build_db(), 3)
+    monkeypatch.delenv("REPRO_OPTIMIZE", raising=False)
+    via_options = run_signature(
+        build_db(), 3, options=QueryOptions(optimize=False)
+    )
+    assert baseline == via_env == via_options
+
+
+def test_optimized_run_estimates_the_same_query():
+    db = build_db()
+    exact = db.count(pushable())
+    on = run_signature(build_db(), 5)
+    off = run_signature(build_db(), 5, optimize=False)
+    # Different plans, same answer ballpark: both CIs bracket the truth
+    # loosely here; the strict equivalence contract lives in the
+    # exact-evaluator property tests.
+    (value_on, _), *_ = on
+    (value_off, _), *_ = off
+    assert value_on == pytest.approx(exact, rel=0.5)
+    assert value_off == pytest.approx(exact, rel=0.5)
+    # The optimized plan affords at least as many blocks in-quota.
+    assert on[3] >= off[3]
+
+
+# ----------------------------------------------------------------------
+# Trace events
+# ----------------------------------------------------------------------
+def test_optimized_traced_session_emits_planner_events():
+    db = build_db()
+    sink = RecordingSink()
+    session = db.open_session(
+        pushable(), quota=50.0, seed=0, sink=sink, optimize=True
+    )
+    applied = sink.of_kind("rule_applied")
+    summaries = sink.of_kind("plan_optimized")
+    assert [e.rule for e in applied] == ["push-predicates"]
+    assert len(summaries) == 1
+    event = summaries[0]
+    assert event.rules == "push-predicates" and event.rules_applied == 1
+    assert event.before_hash == pushable().structural_hash()
+    assert event.after_hash == session.plan.optimized_expr.structural_hash()
+    assert event.operators_before == 2 and event.operators_after == 2
+    # Events round-trip through the JSONL registry.
+    from repro.observability import event_from_dict
+
+    assert event_from_dict(event.to_dict()) == event
+    assert event_from_dict(applied[0].to_dict()) == applied[0]
+
+
+def test_untouched_query_emits_no_planner_events_and_starts_clean():
+    db = build_db()
+    sink = RecordingSink()
+    session = db.open_session(
+        select(rel("orders"), cmp("qty", ">", 40)), quota=50.0, seed=0,
+        sink=sink,
+    )
+    assert sink.of_kind("rule_applied") == []
+    assert sink.of_kind("plan_optimized") == []
+    session.run()
+    assert sink.kinds()[0] == "query_start"
+
+
+# ----------------------------------------------------------------------
+# Admission prices the optimized plan
+# ----------------------------------------------------------------------
+def test_minimum_stage_cost_prices_the_plan_it_will_run():
+    db = build_db()
+    cost_model = db.default_cost_model()
+    optimized = db.open_session(
+        pushable(), quota=5.0, seed=0, cost_model=cost_model, optimize=True
+    )
+    verbatim = db.open_session(
+        pushable(), quota=5.0, seed=0, cost_model=cost_model, optimize=False
+    )
+    assert minimum_stage_cost(optimized) < minimum_stage_cost(verbatim)
+
+
+def test_projection_query_explains_and_prices():
+    db = build_db()
+    expr = select(
+        project(project(rel("orders"), ("oid", "qty")), ("qty",)),
+        cmp("qty", ">", 40),
+    )
+    explanation = db.explain(expr)
+    rules = [a.rule for a in explanation.applications]
+    assert "prune-projections" in rules and "push-predicates" in rules
+    assert explanation.after_costs.total <= explanation.before_costs.total
+
+
+def test_setop_normalization_shares_plan_identity():
+    db = build_db()
+    db.create_relation(
+        "orders_b",
+        [("oid", "int"), ("qty", "int"), ("pid", "int")],
+        rows=[(i, i % 50, i % 20) for i in range(1_000, 3_000)],
+    )
+    a = intersect(rel("orders"), rel("orders_b"))
+    b = intersect(rel("orders_b"), rel("orders"))
+    ex_a = db.explain(a)
+    ex_b = db.explain(b)
+    assert ex_a.after.canonical_str() == ex_b.after.canonical_str()
+    assert ex_b.cache_hit  # commuted operands found the same cache entry

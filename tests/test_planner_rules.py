@@ -1,0 +1,325 @@
+"""Unit tests of the optimizer's rewrite rules and fixpoint driver."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.catalog.types import AttributeType
+from repro.errors import ExpressionError
+from repro.planner import (
+    JoinChainReorder,
+    PredicatePushdown,
+    ProjectionPruning,
+    RewriteContext,
+    SelectionFusion,
+    SetOpNormalize,
+    default_rules,
+    optimize_expression,
+    reorder_is_safe,
+)
+from repro.relational.evaluator import rows_exact
+from repro.relational.expression import (
+    Join,
+    Project,
+    Select,
+    difference,
+    intersect,
+    join,
+    project,
+    rel,
+    select,
+    union,
+)
+from repro.relational.predicate import And, TruePredicate, cmp
+from tests.conftest import make_relation
+
+
+def build_catalog() -> Catalog:
+    """r1/r2/r3 share (id, a) so every set operation is compatible."""
+    schema = Schema.of(id=AttributeType.INT, a=AttributeType.INT)
+    catalog = Catalog()
+    catalog.register(
+        "r1",
+        make_relation("r1", schema, [(i, i % 7) for i in range(60)], 16),
+    )
+    catalog.register(
+        "r2",
+        make_relation("r2", schema, [(i, i % 5) for i in range(20, 70)], 16),
+    )
+    catalog.register(
+        "r3",
+        make_relation("r3", schema, [(i, i % 3) for i in range(40, 90)], 16),
+    )
+    return catalog
+
+
+def build_chain_catalog() -> Catalog:
+    """x/y/z with globally distinct attribute names (reorder-safe joins)."""
+    catalog = Catalog()
+    catalog.register(
+        "x",
+        make_relation(
+            "x",
+            Schema.of(xa=AttributeType.INT, xb=AttributeType.INT),
+            [(i % 10, i % 4) for i in range(30)],
+            16,
+        ),
+    )
+    catalog.register(
+        "y",
+        make_relation(
+            "y",
+            Schema.of(ya=AttributeType.INT, yb=AttributeType.INT),
+            [(i % 10, i) for i in range(80)],
+            16,
+        ),
+    )
+    catalog.register(
+        "z",
+        make_relation(
+            "z",
+            Schema.of(za=AttributeType.INT, zb=AttributeType.INT),
+            [(i % 4, i) for i in range(12)],
+            16,
+        ),
+    )
+    return catalog
+
+
+def rows_equal(catalog, before, after) -> None:
+    """Exact-evaluator equality (tuples verbatim, order-insensitive)."""
+    assert sorted(rows_exact(before, catalog)) == sorted(
+        rows_exact(after, catalog)
+    )
+    assert before.schema(catalog) == after.schema(catalog)
+
+
+# ----------------------------------------------------------------------
+# SelectionFusion
+# ----------------------------------------------------------------------
+def test_fusion_merges_selection_stack():
+    catalog = build_catalog()
+    expr = select(select(rel("r1"), cmp("a", "<", 5)), cmp("id", ">", 10))
+    out = SelectionFusion().apply(expr, RewriteContext(catalog))
+    assert isinstance(out, Select) and not isinstance(out.child, Select)
+    assert isinstance(out.predicate, And) and len(out.predicate.parts) == 2
+    rows_equal(catalog, expr, out)
+
+
+def test_fusion_flattens_nested_conjunctions():
+    catalog = build_catalog()
+    inner = select(rel("r1"), And((cmp("a", "<", 5), cmp("a", ">", 1))))
+    expr = select(inner, cmp("id", ">", 10))
+    out = SelectionFusion().apply(expr, RewriteContext(catalog))
+    assert len(out.predicate.parts) == 3
+    rows_equal(catalog, expr, out)
+
+
+# ----------------------------------------------------------------------
+# PredicatePushdown
+# ----------------------------------------------------------------------
+def test_pushdown_splits_join_conjuncts_by_side():
+    catalog = build_catalog()
+    # r1 ⋈ r2 on id renames the right side to (id_r, a_r).
+    joined = join(rel("r1"), rel("r2"), on=["id"])
+    expr = select(joined, And((cmp("a", "<", 5), cmp("a_r", ">", 1))))
+    out = PredicatePushdown().apply(expr, RewriteContext(catalog))
+    assert isinstance(out, Join)
+    assert isinstance(out.left, Select) and isinstance(out.right, Select)
+    # The right-side conjunct is renamed back to the child's own name.
+    assert out.right.predicate.attributes() == {"a"}
+    rows_equal(catalog, expr, out)
+
+
+def test_pushdown_keeps_straddling_and_attribute_free_conjuncts():
+    catalog = build_catalog()
+    joined = join(rel("r1"), rel("r2"), on=["id"])
+    straddling = cmp("a", "==", "a_r")  # not pushable: constant compare only
+    expr = select(
+        joined, And((cmp("a", "<", 5), TruePredicate(), straddling))
+    )
+    out = PredicatePushdown().apply(expr, RewriteContext(catalog))
+    assert isinstance(out, Select)  # kept conjuncts stay above the join
+    assert isinstance(out.child, Join)
+    assert isinstance(out.child.left, Select)
+    assert out.child.right == rel("r2")
+
+
+def test_pushdown_no_match_without_single_side_conjunct():
+    catalog = build_catalog()
+    expr = select(join(rel("r1"), rel("r2"), on=["id"]), TruePredicate())
+    assert PredicatePushdown().apply(expr, RewriteContext(catalog)) is None
+
+
+@pytest.mark.parametrize("setop", [union, intersect, difference])
+def test_pushdown_distributes_over_set_operations(setop):
+    catalog = build_catalog()
+    expr = select(setop(rel("r1"), rel("r2")), cmp("a", "<", 3))
+    out = PredicatePushdown().apply(expr, RewriteContext(catalog))
+    assert isinstance(out, type(setop(rel("r1"), rel("r2"))))
+    assert isinstance(out.left, Select) and isinstance(out.right, Select)
+    rows_equal(catalog, expr, out)
+
+
+def test_pushdown_moves_below_projection():
+    catalog = build_catalog()
+    expr = select(project(rel("r1"), ["a"]), cmp("a", "<", 4))
+    out = PredicatePushdown().apply(expr, RewriteContext(catalog))
+    assert isinstance(out, Project) and isinstance(out.child, Select)
+    rows_equal(catalog, expr, out)
+
+
+# ----------------------------------------------------------------------
+# ProjectionPruning / SetOpNormalize
+# ----------------------------------------------------------------------
+def test_projection_pruning_collapses_nested_projects():
+    catalog = build_catalog()
+    expr = project(project(rel("r1"), ["id", "a"]), ["a"])
+    out = ProjectionPruning().apply(expr, RewriteContext(catalog))
+    assert isinstance(out, Project) and out.child == rel("r1")
+    rows_equal(catalog, expr, out)
+
+
+def test_setop_normalize_orders_operands_and_dedupes():
+    catalog = build_catalog()
+    ctx = RewriteContext(catalog)
+    rule = SetOpNormalize()
+    swapped = rule.apply(intersect(rel("r2"), rel("r1")), ctx)
+    assert swapped == intersect(rel("r1"), rel("r2"))
+    # Already ordered / non-commutative: no match.
+    assert rule.apply(intersect(rel("r1"), rel("r2")), ctx) is None
+    assert rule.apply(difference(rel("r2"), rel("r1")), ctx) is None
+    # Idempotence.
+    assert rule.apply(union(rel("r1"), rel("r1")), ctx) == rel("r1")
+
+
+# ----------------------------------------------------------------------
+# JoinChainReorder
+# ----------------------------------------------------------------------
+def chain_expr():
+    return join(
+        join(rel("x"), rel("y"), on=[("xa", "ya")]),
+        rel("z"),
+        on=[("xb", "za")],
+    )
+
+
+def test_reorder_moves_smaller_join_innermost():
+    catalog = build_chain_catalog()
+    out = JoinChainReorder().apply(chain_expr(), RewriteContext(catalog))
+    assert out is not None
+    # x ⋈ z (30·12 points) replaced x ⋈ y (30·80) as the inner join.
+    assert out.left.right == rel("z") and out.right == rel("y")
+    # Same relation as a set of named tuples (column order permuted).
+    def keyed(expr):
+        names = expr.schema(catalog).names
+        return sorted(
+            sorted(zip(names, row)) for row in rows_exact(expr, catalog)
+        )
+
+    assert keyed(chain_expr()) == keyed(out)
+
+
+def test_reorder_is_stable_after_one_swap():
+    catalog = build_chain_catalog()
+    ctx = RewriteContext(catalog)
+    rule = JoinChainReorder()
+    out = rule.apply(chain_expr(), ctx)
+    assert rule.apply(out, ctx) is None  # no oscillation
+
+
+def test_reorder_requires_outer_condition_on_leftmost_input():
+    catalog = build_chain_catalog()
+    expr = join(
+        join(rel("x"), rel("y"), on=[("xa", "ya")]),
+        rel("z"),
+        on=[("yb", "zb")],  # references y, not x — cannot rotate past it
+    )
+    assert JoinChainReorder().apply(expr, RewriteContext(catalog)) is None
+
+
+def test_reorder_gate_rejects_set_ops_and_name_clashes():
+    chain_catalog = build_chain_catalog()
+    assert reorder_is_safe(chain_expr(), chain_catalog)
+    catalog = build_catalog()
+    assert not reorder_is_safe(intersect(rel("r1"), rel("r2")), catalog)
+    assert not reorder_is_safe(join(rel("r1"), rel("r2"), on=["id"]), catalog)
+
+
+def test_driver_drops_reorder_on_unsafe_trees():
+    catalog = build_catalog()
+    expr = select(intersect(rel("r2"), rel("r1")), cmp("a", "<", 3))
+    optimized, applications = optimize_expression(expr, catalog)
+    assert all(a.rule != "reorder-join-inputs" for a in applications)
+    rows_equal(catalog, expr, optimized)
+
+
+# ----------------------------------------------------------------------
+# Fixpoint driver
+# ----------------------------------------------------------------------
+def test_driver_reaches_fixpoint_and_logs_applications():
+    catalog = build_catalog()
+    expr = select(
+        select(join(rel("r1"), rel("r2"), on=["id"]), cmp("a", "<", 5)),
+        cmp("a_r", ">", 0),
+    )
+    optimized, applications = optimize_expression(expr, catalog)
+    # Bottom-up: the inner selection pushes first, then the outer one.
+    assert [a.rule for a in applications] == ["push-predicates"] * 2
+    # Fully pushed: the root is the join, selections sit on the inputs.
+    assert isinstance(optimized, Join)
+    assert isinstance(optimized.left, Select)
+    assert isinstance(optimized.right, Select)
+    rows_equal(catalog, expr, optimized)
+    # Idempotent: optimizing the optimized tree changes nothing.
+    again, more = optimize_expression(optimized, catalog)
+    assert again == optimized and more == ()
+
+
+def test_driver_fuses_selection_stacks():
+    catalog = build_catalog()
+    expr = select(select(rel("r1"), cmp("a", "<", 5)), cmp("id", ">", 10))
+    optimized, applications = optimize_expression(expr, catalog)
+    assert [a.rule for a in applications] == ["fuse-selections"]
+    assert isinstance(optimized, Select)
+    assert not isinstance(optimized.child, Select)
+    rows_equal(catalog, expr, optimized)
+
+
+def test_driver_no_rules_fire_returns_same_tree():
+    catalog = build_catalog()
+    expr = select(rel("r1"), cmp("a", "<", 5))
+    optimized, applications = optimize_expression(expr, catalog)
+    assert optimized is expr and applications == ()
+
+
+def test_driver_nonconvergence_raises():
+    catalog = build_catalog()
+
+    class PingPong:
+        name = "ping-pong"
+
+        def apply(self, node, ctx):
+            if isinstance(node, Select):
+                flipped = (
+                    cmp("a", "<", 5)
+                    if node.predicate == cmp("a", ">", 5)
+                    else cmp("a", ">", 5)
+                )
+                return Select(node.child, flipped)
+            return None
+
+    with pytest.raises(ExpressionError, match="did not converge"):
+        optimize_expression(
+            select(rel("r1"), cmp("a", "<", 5)), catalog, rules=[PingPong()]
+        )
+
+
+def test_default_rules_are_fresh_instances():
+    assert [r.name for r in default_rules()] == [
+        "fuse-selections",
+        "push-predicates",
+        "prune-projections",
+        "normalize-set-ops",
+        "reorder-join-inputs",
+    ]
