@@ -1,0 +1,142 @@
+"""Synopsis-catalog benchmark — repeated workload, blocks per answer.
+
+The acceptance experiment for ``repro.synopses``: a workload of query
+shapes, each arriving ``REPEATS`` times, is driven to the same
+error-constrained answer quality twice —
+
+* **synopses off** — every arrival pays the full staged-sampling price;
+* **synopses on** — the first arrival of each shape samples and deposits
+  an answer synopsis; later arrivals whose recorded confidence interval
+  already meets the target are answered from the catalog at zero block
+  reads (the honest CI comes from the recorded sample variance), exactly
+  the zero-sampling path ``repro.server`` uses for degraded answers.
+
+Headline claim: for the same confidence target on the repeated workload,
+the catalog cuts sampled blocks per answer by at least 1.5x. The measured
+arms land in ``BENCH_synopses.json`` at the repo root (CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.database import Database
+from repro.core.options import QueryOptions
+from repro.planner import clear_plan_cache
+from repro.relational import cmp, rel
+from repro.server import synopsis_degraded_estimate
+from repro.timecontrol import ErrorConstrained
+
+TUPLES = 20_000
+SHAPES = 5
+REPEATS = 6
+TARGET = 0.15  # relative halfwidth
+CONFIDENCE = 0.95
+QUOTA = 30.0
+SEED = 7
+REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_synopses.json"
+)
+
+
+def make_db() -> Database:
+    db = Database(seed=SEED)
+    db.create_relation(
+        "orders",
+        [("id", "int"), ("qty", "int")],
+        rows=[(i, (i * 7919) % 200) for i in range(TUPLES)],
+    )
+    return db
+
+
+def workload():
+    """SHAPES x REPEATS arrivals, round-robin (the repeated-query mix)."""
+    shapes = [
+        rel("orders").where(cmp("qty", "<", 10 * (s + 1)))
+        for s in range(SHAPES)
+    ]
+    return [shapes[i % SHAPES] for i in range(SHAPES * REPEATS)]
+
+
+def run_arm(synopses: bool) -> dict:
+    clear_plan_cache()
+    db = make_db()
+    options = QueryOptions(
+        stopping=ErrorConstrained(
+            target_relative_halfwidth=TARGET, confidence=CONFIDENCE
+        ),
+        synopses=synopses,
+    )
+    blocks = 0
+    answered = 0
+    catalog_answers = 0
+    for index, expr in enumerate(workload()):
+        if synopses:
+            recorded = synopsis_degraded_estimate(db, expr)
+            if (
+                recorded is not None
+                and recorded.relative_error_bound(CONFIDENCE) <= TARGET
+            ):
+                # Zero-sampling answer, honest CI from recorded variance.
+                catalog_answers += 1
+                answered += 1
+                continue
+        result = db.estimate(
+            expr, quota=QUOTA, seed=SEED + index, options=options
+        )
+        report = result.report
+        assert report.estimate is not None, "arm failed to answer"
+        blocks += sum(s.blocks_read for s in report.stages)
+        answered += 1
+    return {
+        "answers": answered,
+        "sampled_blocks": blocks,
+        "catalog_answers": catalog_answers,
+        "blocks_per_answer": blocks / answered,
+    }
+
+
+def test_synopses_cut_blocks_per_answer_on_repeated_workload():
+    off = run_arm(synopses=False)
+    on = run_arm(synopses=True)
+
+    speedup = off["blocks_per_answer"] / on["blocks_per_answer"]
+    report = {
+        "settings": {
+            "tuples": TUPLES,
+            "shapes": SHAPES,
+            "repeats": REPEATS,
+            "target_relative_halfwidth": TARGET,
+            "confidence": CONFIDENCE,
+            "quota_seconds": QUOTA,
+            "seed": SEED,
+        },
+        "synopses_off": off,
+        "synopses_on": on,
+        "blocks_per_answer_ratio": speedup,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"repeated workload, {SHAPES} shapes x {REPEATS} arrivals:")
+    print(
+        f"  synopses off: {off['sampled_blocks']} blocks, "
+        f"{off['blocks_per_answer']:.1f} per answer"
+    )
+    print(
+        f"  synopses on : {on['sampled_blocks']} blocks, "
+        f"{on['blocks_per_answer']:.1f} per answer "
+        f"({on['catalog_answers']} catalog answers)"
+    )
+    print(f"  ratio: {speedup:.2f}x  report: {REPORT_PATH}")
+
+    # Both arms answered the whole workload to the same target.
+    assert off["answers"] == on["answers"] == SHAPES * REPEATS
+    # The catalog really served the repeats...
+    assert on["catalog_answers"] >= SHAPES * (REPEATS - 2)
+    # ...and the acceptance floor from the issue: >=1.5x fewer blocks.
+    assert speedup >= 1.5, (
+        f"synopsis catalog must cut blocks per answer by >=1.5x on the "
+        f"repeated workload; measured {speedup:.2f}x"
+    )

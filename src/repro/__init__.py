@@ -79,6 +79,13 @@ from repro.relational import (
     select,
     union,
 )
+from repro.synopses import (
+    SynopsisBinder,
+    SynopsisCatalog,
+    SynopsisHit,
+    SynopsisInvalidated,
+    SynopsisRefreshed,
+)
 from repro.timecontrol import (
     AnyOf,
     ErrorConstrained,
@@ -138,6 +145,11 @@ __all__ = [
     "TraceSink",
     "SingleInterval",
     "SoftDeadline",
+    "SynopsisBinder",
+    "SynopsisCatalog",
+    "SynopsisHit",
+    "SynopsisInvalidated",
+    "SynopsisRefreshed",
     "TimeConstrainedExecutor",
     "CostCharger",
     "CostKind",

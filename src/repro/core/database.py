@@ -23,7 +23,7 @@ Typical use::
 from __future__ import annotations
 
 import warnings
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.catalog.types import AttributeType
 from repro.core.options import QueryOptions
 from repro.core.result import QueryResult
 from repro.core.session import ExecutionContext, QuerySession
+from repro.core.switches import resolve_switch
 from repro.costmodel.model import CostModel
 from repro.errors import ReproError
 from repro.observability.trace import NULL_SINK, TraceSink
@@ -42,6 +43,9 @@ from repro.storage.heapfile import DEFAULT_BLOCK_SIZE, HeapFile
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.clock import Clock, SimulatedClock, WallClock
 from repro.timekeeping.profile import MachineProfile
+
+if TYPE_CHECKING:
+    from repro.synopses.catalog import SynopsisCatalog
 
 _TYPE_NAMES = {
     "int": AttributeType.INT,
@@ -90,6 +94,7 @@ class Database:
         seed: int | None = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         clock: str = "simulated",
+        synopsis_catalog: "SynopsisCatalog | None" = None,
     ) -> None:
         if clock not in ("simulated", "wall"):
             raise ReproError(f"clock must be 'simulated' or 'wall': {clock!r}")
@@ -99,6 +104,14 @@ class Database:
         self.catalog = Catalog()
         self.statistics: dict[str, "RelationStatistics"] = {}
         self._seed_sequence = np.random.SeedSequence(seed)
+        if synopsis_catalog is None:
+            from repro.synopses.catalog import SynopsisCatalog
+
+            # One catalog per Database by default: keys embed relation-size
+            # fingerprints so *sharing* one (synopsis_catalog=) is sound,
+            # but independent databases should not see each other's runs.
+            synopsis_catalog = SynopsisCatalog()
+        self.synopses = synopsis_catalog
 
     # ------------------------------------------------------------------
     # Relation management
@@ -118,8 +131,33 @@ class Database:
         self.catalog.register(name, heap)
         return heap
 
+    def append_rows(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Append rows to a stored relation (a committed write).
+
+        Grows the heap file in place and invalidates everything derived
+        from the old contents: the plan cache's entries fingerprinted over
+        this relation, its prestored statistics (the paper's maintenance
+        burden — re-run :meth:`analyze`), and the synopsis catalog's
+        entries over it. Returns the number of rows appended. This is what
+        :mod:`repro.realtime` write transactions call on commit.
+        """
+        heap = self.catalog.get(name)
+        before = heap.tuple_count
+        heap.load(rows)
+        self._on_relation_mutated(name)
+        return heap.tuple_count - before
+
     def drop_relation(self, name: str) -> None:
         self.catalog.drop(name)
+        self._on_relation_mutated(name)
+
+    def _on_relation_mutated(self, name: str) -> None:
+        """Committed mutation of ``name``: drop every derived artifact."""
+        from repro.planner.cache import invalidate_plan_cache_relation
+
+        invalidate_plan_cache_relation(name)
+        self.statistics.pop(name, None)
+        self.synopses.invalidate_relation(name)
 
     def relation(self, name: str) -> HeapFile:
         return self.catalog.get(name)
@@ -281,6 +319,16 @@ class Database:
             hint_provider = hinter.hint
 
         resolved_sink = opts.sink if opts.sink is not None else NULL_SINK
+        # None → honour the process-wide REPRO_SYNOPSES switch (default OFF:
+        # the catalog carries state across runs, so replayable-by-default
+        # sessions must not touch it unless asked).
+        binder = None
+        if resolve_switch(opts.synopses, "REPRO_SYNOPSES", default=False):
+            from repro.synopses.binder import SynopsisBinder
+
+            binder = SynopsisBinder(
+                self.synopses, self.catalog, sink=resolved_sink
+            )
         rng = self._spawn_rng(seed)
         injector = None
         if opts.fault_plan is not None and opts.fault_plan.active:
@@ -324,6 +372,7 @@ class Database:
             pin_selectivities=opts.selectivity_source == "prestored",
             vectorized=opts.vectorized,
             optimize=opts.optimize,
+            binder=binder,
         )
 
     def explain(

@@ -48,7 +48,10 @@ class QueryOptions:
     ``optimize`` selects the logical optimizer (:mod:`repro.planner`):
     ``None`` honours the process-wide ``REPRO_OPTIMIZE`` switch (default
     on); ``False`` lowers the expression verbatim, bit-identical to the
-    pre-planner engine.
+    pre-planner engine. ``synopses`` enables the cross-query synopsis
+    catalog (:mod:`repro.synopses`): ``None`` honours ``REPRO_SYNOPSES``
+    (default *off* — the catalog carries state between runs, so it is
+    opt-in); ``False`` is bit-identical to an engine without the catalog.
     """
 
     strategy: "TimeControlStrategy | None" = None
@@ -66,6 +69,7 @@ class QueryOptions:
     clock: "Clock | None" = None
     vectorized: bool | None = None
     optimize: bool | None = None
+    synopses: bool | None = None
     block_size: int | None = None
     fault_plan: "FaultPlan | None" = None
 

@@ -94,6 +94,7 @@ class QuerySession:
         pin_selectivities: bool = False,
         vectorized: bool | None = None,
         optimize: bool | None = None,
+        binder=None,
     ) -> None:
         from repro.estimation.aggregates import COUNT
 
@@ -123,7 +124,9 @@ class QuerySession:
             vectorized=vectorized,
             injector=context.injector,
             optimize=self.optimize,
+            binder=binder,
         )
+        self.binder = binder
         self.executor = TimeConstrainedExecutor(
             self.plan,
             self.strategy,
@@ -185,4 +188,8 @@ class QuerySession:
                 stage=self.plan.stages_completed + 1, session=self.label
             )
         self._result = QueryResult(report=report)
+        if self.binder is not None:
+            # Deposit the run's evidence into the synopsis catalog, keyed
+            # by the query as written (pre-optimizer).
+            self.binder.absorb_run(self.plan, report, self.expr)
         return self._result

@@ -48,6 +48,7 @@ from repro.timekeeping.charger import CostCharger
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.synopses.binder import SynopsisBinder
 
 DEFAULT_INITIAL_SELECTIVITY = {
     "select": 1.0,
@@ -74,6 +75,7 @@ class PhysicalPlanBuilder:
         initial_selectivities: dict[str, float] | None = None,
         hint_provider=None,
         pin_selectivities: bool = False,
+        binder: "SynopsisBinder | None" = None,
     ) -> None:
         self.catalog = catalog
         self.charger = charger
@@ -85,6 +87,7 @@ class PhysicalPlanBuilder:
         self.injector = injector
         self._hint_provider = hint_provider
         self._pin_selectivities = pin_selectivities
+        self._binder = binder
         self._initial = dict(DEFAULT_INITIAL_SELECTIVITY)
         if initial_selectivities:
             self._initial.update(initial_selectivities)
@@ -127,9 +130,17 @@ class PhysicalPlanBuilder:
                 return min(max(hinted, 1e-12), 1.0), True
         return default, False
 
-    def _finish_node(self, node: StagedNode, hinted: bool) -> StagedNode:
+    def _finish_node(
+        self, node: StagedNode, hinted: bool, expr: Expression
+    ) -> StagedNode:
         if hinted and self._pin_selectivities and node.tracker is not None:
             node.tracker.pinned = True
+        # Warm-start from the synopsis catalog last: pinning wins (prestored
+        # mode never borrows), and the prior only adds pseudo-counts — it
+        # never changes the node's configured initial selectivity, so the
+        # explicit/hinted/default precedence above is untouched.
+        if self._binder is not None and node.tracker is not None:
+            self._binder.bind(expr, node.tracker)
         return node
 
     def build(self, expr: Expression) -> StagedNode:
@@ -155,6 +166,7 @@ class PhysicalPlanBuilder:
                     **self._common_kwargs(),
                 ),
                 hinted,
+                expr,
             )
         if isinstance(expr, Project):
             child = self.build(expr.child)
@@ -168,6 +180,7 @@ class PhysicalPlanBuilder:
                     **self._common_kwargs(),
                 ),
                 hinted,
+                expr,
             )
         if isinstance(expr, Join):
             left = self.build(expr.left)
@@ -183,6 +196,7 @@ class PhysicalPlanBuilder:
                     **self._common_kwargs(),
                 ),
                 hinted,
+                expr,
             )
         if isinstance(expr, Intersect):
             left = self.build(expr.left)
@@ -200,6 +214,7 @@ class PhysicalPlanBuilder:
                     **self._common_kwargs(),
                 ),
                 hinted,
+                expr,
             )
         raise ExpressionError(
             f"non-SJIP node {type(expr).__name__} survived inclusion–exclusion"

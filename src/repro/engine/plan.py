@@ -69,6 +69,7 @@ from repro.timekeeping.charger import CostCharger
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.synopses.binder import SynopsisBinder
 
 __all__ = [
     "DEFAULT_INITIAL_SELECTIVITY",  # re-exported from repro.engine.physical
@@ -167,6 +168,7 @@ class StagedPlan:
         vectorized: bool | None = None,
         injector: "FaultInjector | None" = None,
         optimize: bool = False,
+        binder: "SynopsisBinder | None" = None,
     ) -> None:
         self.expr = expr
         # None → honour the process-wide REPRO_KERNELS switch (default on).
@@ -234,7 +236,9 @@ class StagedPlan:
             initial_selectivities=initial_selectivities,
             hint_provider=hint_provider,
             pin_selectivities=pin_selectivities,
+            binder=binder,
         )
+        self.binder = binder
         self.spool = self._builder.spool
         self.terms: list[StagedTerm] = []
         if aggregate.needs_values and expr.contains_projection():

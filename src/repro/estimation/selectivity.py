@@ -58,7 +58,17 @@ DEFAULT_ZERO_FIX_BETA = 0.05
 
 @dataclass
 class SelectivityTracker:
-    """Run-time selectivity state of one RA operator (see module docs)."""
+    """Run-time selectivity state of one RA operator (see module docs).
+
+    ``prior_tuples`` / ``prior_points`` are warm-start pseudo-counts from
+    the synopsis catalog (:mod:`repro.synopses`): evidence pooled from
+    earlier runs of the same operator subtree. They participate in
+    ``sel_prev`` exactly like observed stages, so a warm-started operator
+    enters stage 1 with ``sel⁺ = posterior + d_β·sqrt(Var)`` instead of the
+    assumed maximum — but they are *not* stage observations: the run's own
+    estimator, salvage snapshots, and per-stage series see only what this
+    session actually sampled.
+    """
 
     label: str
     initial: float
@@ -66,6 +76,8 @@ class SelectivityTracker:
     pinned: bool = False
     observations: list[StageObservation] = field(default_factory=list)
     sink: TraceSink | None = field(default=None, repr=False, compare=False)
+    prior_tuples: float = 0.0
+    prior_points: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.initial <= 1.0:
@@ -75,6 +87,34 @@ class SelectivityTracker:
             )
         if not 0.0 < self.zero_fix_beta < 1.0:
             raise EstimationError("zero_fix_beta must be in (0,1)")
+        if self.prior_points < 0 or self.prior_tuples < 0:
+            raise EstimationError(
+                f"{self.label}: negative warm-start prior "
+                f"({self.prior_tuples}, {self.prior_points})"
+            )
+
+    def warm_start(self, tuples: float, points: float) -> None:
+        """Seed the tracker with pooled (tuples, points) prior evidence.
+
+        Must happen before any stage is observed; pinned trackers refuse —
+        prestored mode means "never learn", including from the catalog.
+        """
+        if self.pinned:
+            raise EstimationError(f"{self.label}: cannot warm-start a pinned tracker")
+        if self.observations:
+            raise EstimationError(
+                f"{self.label}: warm_start after {len(self.observations)} stages"
+            )
+        if points <= 0 or tuples < 0:
+            raise EstimationError(
+                f"{self.label}: invalid warm-start prior ({tuples}, {points})"
+            )
+        self.prior_tuples = float(tuples)
+        self.prior_points = float(points)
+
+    @property
+    def has_prior(self) -> bool:
+        return self.prior_points > 0
 
     # ------------------------------------------------------------------
     # Observation
@@ -123,18 +163,20 @@ class SelectivityTracker:
     # ------------------------------------------------------------------
     @property
     def sel_prev(self) -> float:
-        """``sel^{i−1}`` — pooled selectivity of all previous stages.
+        """``sel^{i−1}`` — pooled selectivity of prior + previous stages.
 
         A *pinned* tracker (pure prestored mode, see
         :mod:`repro.statistics.prestored`) always reports its configured
-        value and never learns from the samples.
+        value and never learns from the samples. Warm-start pseudo-counts
+        pool with the observed stages, so the catalog's evidence is diluted
+        (not replaced) by what this run actually sees.
         """
         if self.pinned:
             return self.initial
-        points = self.total_points
+        points = self.total_points + self.prior_points
         if points == 0:
             return self.initial
-        return self.total_tuples / points
+        return (self.total_tuples + self.prior_tuples) / points
 
     def effective_sel_prev(self) -> float:
         """``sel^{i−1}`` with the zero-selectivity fix applied."""
@@ -150,7 +192,7 @@ class SelectivityTracker:
         under with-replacement draws ``(1−S)^M ≥ β`` ⇒ ``S = 1 − β^{1/M}``
         (a slight over-estimate versus the hypergeometric, i.e. safe).
         """
-        observed = self.total_points
+        observed = self.total_points + self.prior_points
         if observed <= 0:
             return self.initial
         return 1.0 - self.zero_fix_beta ** (1.0 / observed)
@@ -178,8 +220,8 @@ class SelectivityTracker:
             raise EstimationError(f"d_beta must be non-negative, got {d_beta}")
         if self.pinned:
             return self.initial
-        if self.stages_observed == 0:
-            # Stage 1: no data — the assumed maximum selectivity stands alone.
+        if self.stages_observed == 0 and not self.has_prior:
+            # Stage 1, cold: no data — the assumed maximum stands alone.
             return self.initial
         sel = self.effective_sel_prev()
         margin = d_beta * self.variance(candidate_points, space_points) ** 0.5

@@ -90,6 +90,30 @@ def plan_cache_info() -> PlanCacheInfo:
         )
 
 
+def invalidate_plan_cache_relation(name: str) -> int:
+    """Drop every entry whose fingerprint references relation ``name``.
+
+    Called on committed mutations (:meth:`repro.core.database.Database.
+    append_rows` / ``drop_relation``). The size fingerprint already makes
+    *grown* relations miss naturally, but a drop-and-recreate that lands on
+    the same cardinalities would silently replay a
+    :class:`~repro.planner.rules.JoinChainReorder` decision made for the
+    old data — so mutations evict explicitly. Returns the eviction count.
+    """
+    evicted = 0
+    with _lock:
+        for key in list(_cache):
+            fingerprint = key[1]
+            if any(
+                part.split(":", 1)[0] == name
+                for part in fingerprint.split(";")
+                if part
+            ):
+                del _cache[key]
+                evicted += 1
+    return evicted
+
+
 def clear_plan_cache() -> None:
     """Drop all entries and reset counters (tests; catalog reloads)."""
     global _hits, _misses

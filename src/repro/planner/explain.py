@@ -66,8 +66,13 @@ def render_tree(expr: Expression) -> str:
 
 
 def initial_selectivity_provider(tracker, new_points, space_points) -> float:
-    """Initial/running-mean selectivity — no risk inflation for pricing."""
-    if tracker.stages_observed == 0:
+    """Initial/running-mean selectivity — no risk inflation for pricing.
+
+    A warm-started tracker (synopsis prior, no stages yet) prices at its
+    posterior mean, so admission control sees the cheaper plan the run will
+    actually execute.
+    """
+    if tracker.stages_observed == 0 and not tracker.has_prior:
         return tracker.initial
     return tracker.effective_sel_prev()
 

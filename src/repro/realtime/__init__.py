@@ -14,6 +14,7 @@ from repro.realtime.transaction import (
     QuotaAllocator,
     TransactionResult,
     TransactionScheduler,
+    WriteTask,
 )
 
 __all__ = [
@@ -23,5 +24,6 @@ __all__ = [
     "QuotaAllocator",
     "TransactionResult",
     "TransactionScheduler",
+    "WriteTask",
     "run_transaction",
 ]

@@ -28,6 +28,7 @@ from repro.realtime.transaction import (
     QueryTask,
     QuotaAllocator,
     TransactionResult,
+    WriteTask,
 )
 from repro.server.request import QueryRequest
 from repro.server.scheduler import QueryServer
@@ -54,7 +55,7 @@ def run_transaction(
     """
     if deadline <= 0:
         raise TimeControlError(f"deadline must be positive: {deadline}")
-    if not tasks:
+    if not any(isinstance(t, QueryTask) for t in tasks):
         raise TimeControlError("transaction needs at least one query")
     names = [t.name for t in tasks]
     if len(set(names)) != len(names):
@@ -64,6 +65,11 @@ def run_transaction(
     start = server.clock.now()
     outcome = TransactionResult(deadline=deadline)
     for index, task in enumerate(tasks):
+        if isinstance(task, WriteTask):
+            # Committed write: uncharged on the clock, but its commit
+            # invalidates plan-cache / statistics / synopsis state.
+            server.database.append_rows(task.relation, task.rows)
+            continue
         elapsed = server.clock.now() - start
         remaining = deadline - elapsed
         quota = min(allocator.allocate(tasks, index, remaining), remaining)

@@ -52,6 +52,35 @@ class QueryTask:
             )
 
 
+@dataclass(frozen=True)
+class WriteTask:
+    """One committed append inside a transaction.
+
+    Executes as :meth:`repro.core.database.Database.append_rows` — the
+    write itself is uncharged on the simulated clock (like bulk ``load``;
+    the paper budgets *query* time, not maintenance I/O), but its commit
+    has teeth: it invalidates the plan cache entries, prestored statistics,
+    and synopsis-catalog entries derived from the old contents, so every
+    later query in this or any other transaction sees consistent derived
+    state. ``weight`` is fixed at 0 so quota allocators never grant
+    sampling budget to a write.
+    """
+
+    name: str
+    relation: str
+    rows: tuple = ()
+    weight: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TimeControlError("write task needs a name")
+        if not self.relation:
+            raise TimeControlError(f"task {self.name!r}: needs a relation")
+        object.__setattr__(
+            self, "rows", tuple(tuple(row) for row in self.rows)
+        )
+
+
 class QuotaAllocator:
     """Splits a transaction's time budget into per-query quotas."""
 
@@ -155,7 +184,7 @@ class TransactionScheduler:
         """
         if deadline <= 0:
             raise TimeControlError(f"deadline must be positive: {deadline}")
-        if not tasks:
+        if not any(isinstance(t, QueryTask) for t in tasks):
             raise TimeControlError("transaction needs at least one query")
         names = [t.name for t in tasks]
         if len(set(names)) != len(names):
@@ -164,6 +193,9 @@ class TransactionScheduler:
         outcome = TransactionResult(deadline=deadline)
         remaining = deadline
         for index, task in enumerate(tasks):
+            if isinstance(task, WriteTask):
+                self.database.append_rows(task.relation, task.rows)
+                continue
             quota = min(
                 self.allocator.allocate(tasks, index, remaining), remaining
             )

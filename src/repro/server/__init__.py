@@ -29,7 +29,7 @@ from repro.server.admission import (
     RejectInfeasible,
     minimum_stage_cost,
 )
-from repro.server.degrade import degraded_estimate
+from repro.server.degrade import degraded_estimate, synopsis_degraded_estimate
 from repro.server.events import (
     AdmissionDecided,
     RequestArrived,
@@ -70,6 +70,7 @@ __all__ = [
     "ServerMetrics",
     "degraded_estimate",
     "demo_database",
+    "synopsis_degraded_estimate",
     "minimum_stage_cost",
     "open_loop_requests",
     "run_closed_loop",

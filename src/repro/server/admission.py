@@ -147,7 +147,7 @@ class RejectInfeasible(AdmissionPolicy):
 
 @dataclass
 class DegradeInfeasible(AdmissionPolicy):
-    """Admit feasible requests; answer the rest from prestored statistics.
+    """Admit feasible requests; answer the rest without sampling.
 
     The zero-sampling fallback (:mod:`repro.server.degrade`) returns a wide
     confidence interval instantly instead of failing — the serving-layer
@@ -169,8 +169,8 @@ class DegradeInfeasible(AdmissionPolicy):
             )
         return AdmissionDecision(
             AdmissionAction.DEGRADE,
-            f"infeasible within quota {request.quota:g}s; answering from "
-            "prestored statistics",
+            f"infeasible within quota {request.quota:g}s; answering "
+            "without sampling",
         )
 
     def describe(self) -> str:

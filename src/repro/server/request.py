@@ -4,7 +4,7 @@ The unit of work a client submits is a :class:`QueryRequest`: a relational
 expression with an aggregate, an *offered quota* (how many seconds of
 processing the client pays for, which fixes the absolute deadline at
 ``arrival + quota``), and a priority. The server answers every request with
-a :class:`RequestOutcome` whose :class:`Outcome` is one of five terminal
+a :class:`RequestOutcome` whose :class:`Outcome` is one of six terminal
 states — the contract is total: no request is ever silently dropped and no
 scheduling failure ever surfaces as an exception to the submitting client.
 
@@ -12,10 +12,14 @@ scheduling failure ever surfaces as an exception to the submitting client.
 outcome        meaning
 =============  ==========================================================
 ``ANSWERED``   ran to its deadline; a sampling estimate was produced
-``DEGRADED``   infeasible to sample in time; answered instantly from
-               prestored statistics with a wide confidence interval
-``REJECTED``   turned away at admission (no capacity, or infeasible and
-               degradation unavailable)
+``DEGRADED``   infeasible to sample in time; answered instantly from a
+               synopsis or prestored statistics with an honest (wide)
+               confidence interval
+``REJECTED``   turned away at admission (no capacity, or infeasible)
+``UNCOVERED``  the policy chose degradation, but neither the synopsis
+               catalog nor prestored statistics cover the query — no
+               instant answer exists, so the request was turned away
+               with the coverage gap named
 ``SHED``       admitted but dropped from the queue under overload before
                useful work could start
 ``MISSED``     dispatched but produced no estimate inside the deadline
@@ -41,6 +45,7 @@ class Outcome(enum.Enum):
     ANSWERED = "answered"
     DEGRADED = "degraded"
     REJECTED = "rejected"
+    UNCOVERED = "uncovered"
     SHED = "shed"
     MISSED = "missed"
 

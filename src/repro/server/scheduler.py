@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.database import Database
+from repro.core.switches import resolve_switch
 from repro.costmodel.model import CostModel
 from repro.errors import StorageError
 from repro.observability.trace import NULL_SINK, TeeSink, TraceSink
@@ -53,7 +54,7 @@ from repro.server.admission import (
     RejectInfeasible,
     minimum_stage_cost,
 )
-from repro.server.degrade import degraded_estimate
+from repro.server.degrade import degraded_estimate, synopsis_degraded_estimate
 from repro.server.events import (
     AdmissionDecided,
     RequestArrived,
@@ -63,6 +64,8 @@ from repro.server.events import (
 )
 from repro.server.metrics import ServerMetrics
 from repro.server.request import Outcome, QueryRequest, RequestOutcome
+from repro.synopses.catalog import relation_fingerprint
+from repro.synopses.events import SynopsisRefreshed
 from repro.timecontrol.stopping import HardDeadline
 from repro.timecontrol.strategies import (
     OneAtATimeInterval,
@@ -140,6 +143,7 @@ class QueryServer:
         session_kwargs: dict | None = None,
         max_fault_retries: int = 1,
         retry_backoff: float = 0.05,
+        synopses: bool | None = None,
     ) -> None:
         if database.clock_kind != "simulated":
             raise ValueError(
@@ -167,7 +171,15 @@ class QueryServer:
             raise ValueError(f"retry_backoff cannot be negative: {retry_backoff}")
         self.max_fault_retries = max_fault_retries
         self.retry_backoff = retry_backoff
+        # None → honour REPRO_SYNOPSES (default off). When on, every
+        # session the server opens reads/feeds the database's synopsis
+        # catalog, degrade answers prefer recorded synopses, and the
+        # catalog's invalidation events join the server's trace stream.
+        self.synopses = resolve_switch(synopses, "REPRO_SYNOPSES", default=False)
+        if self.synopses:
+            self.database.synopses.sink = self.sink
         self._seq = itertools.count()
+        self._refresh_counter = itertools.count(1)
         self.outcomes: list[RequestOutcome] = []
 
     # ------------------------------------------------------------------
@@ -249,13 +261,22 @@ class QueryServer:
                 break
         arrivals.insert(index, request)
 
+    def _session_overrides(self) -> dict:
+        """Per-session keyword overrides: the synopses flag, then the
+        caller's ``session_kwargs`` (which win on conflict)."""
+        overrides = {"synopses": self.synopses}
+        overrides.update(self.session_kwargs)
+        return overrides
+
     def _minimum_cost(self, request: QueryRequest) -> float:
         """Price the cheapest useful stage with the calibrated cost model.
 
         The probe session is never run: construction charges nothing, so
         pricing is free on the server timeline. A fixed probe seed keeps
         the database's master seed sequence untouched (probe RNG streams
-        are never drawn from).
+        are never drawn from). With synopses on, lowering the probe
+        warm-starts its trackers from the catalog, so the price reflects
+        the posterior selectivities the run would actually start from.
         """
         probe = self.database.open_session(
             request.expr,
@@ -264,7 +285,7 @@ class QueryServer:
             cost_model=self._cost_model,
             seed=0,
             clock=self.clock,
-            **self.session_kwargs,
+            **self._session_overrides(),
         )
         return minimum_stage_cost(probe)
 
@@ -376,24 +397,48 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Degraded answers
     # ------------------------------------------------------------------
-    def _degrade(self, request: QueryRequest, reason: str) -> RequestOutcome:
-        now = self.clock.now()
+    def _zero_sampling_estimate(self, request: QueryRequest):
+        """Best instant answer: synopsis first, prestored statistics next.
+
+        Returns ``(estimate, source)``; ``(None, None)`` when neither
+        source covers the query.
+        """
+        if self.synopses:
+            estimate = synopsis_degraded_estimate(
+                self.database,
+                request.expr,
+                aggregate=request.aggregate,
+                sink=self.sink,
+            )
+            if estimate is not None:
+                return estimate, "synopsis"
         estimate = degraded_estimate(
             self.database, request.expr, aggregate=request.aggregate
         )
+        if estimate is not None:
+            return estimate, "prestored statistics"
+        return None, None
+
+    def _degrade(self, request: QueryRequest, reason: str) -> RequestOutcome:
+        now = self.clock.now()
+        estimate, source = self._zero_sampling_estimate(request)
         if estimate is None:
+            # The policy chose degradation but no instant answer exists —
+            # a coverage gap, reported as its own terminal state rather
+            # than masquerading as an ordinary rejection.
             return self._finish_unrun(
                 request,
-                Outcome.REJECTED,
+                Outcome.UNCOVERED,
                 reason
-                + " — but no prestored statistics cover this query "
-                "(run Database.analyze()); rejected instead",
+                + " — but neither the synopsis catalog nor prestored "
+                "statistics cover this query (run it once with synopses "
+                "on, or run Database.analyze())",
                 queue_wait=now - request.arrival,
             )
         outcome = RequestOutcome(
             request=request,
             outcome=Outcome.DEGRADED,
-            reason=reason,
+            reason=f"{reason} ({source} answer)",
             admitted=False,
             queue_wait=now - request.arrival,
             started_at=now,
@@ -402,6 +447,84 @@ class QueryServer:
         )
         self._completed_event(outcome)
         return outcome
+
+    # ------------------------------------------------------------------
+    # Idle-capacity synopsis refresh
+    # ------------------------------------------------------------------
+    def refresh_synopses(self, budget: float) -> int:
+        """Re-derive invalidated answer synopses within a time budget.
+
+        Each :class:`~repro.synopses.events.SynopsisInvalidated` mutation
+        queues the dropped answers for refresh; an operator (or an idle
+        loop) grants the server ``budget`` simulated seconds and the server
+        re-runs queued shapes as ordinary time-constrained sessions *on its
+        own clock* — refresh time is real capacity spent, charged exactly
+        like served requests, never free. Maintenance work carries no
+        client deadline, so refresh runs use soft-deadline semantics
+        (``measure_overspend=True``): an overrunning final stage is allowed
+        to finish — its time still charged — rather than killed with
+        nothing to show, and the overrun estimate is deposited. Runs until
+        the queue drains or the budget is spent; a run that still produced
+        no estimate (faults ate it) is re-queued, not lost. Returns how
+        many entries were refreshed. No-op unless the server was built
+        with synopses on.
+        """
+        if not self.synopses or budget <= 0:
+            return 0
+        refreshed = 0
+        while True:
+            entry = self.database.synopses.pop_refresh()
+            if entry is None:
+                break
+            started = self.clock.now()
+            quota = budget
+            session = self.database.open_session(
+                entry.expr,
+                quota=quota,
+                strategy=self.strategy_factory(),
+                stopping=HardDeadline(),
+                measure_overspend=True,
+                aggregate=entry.aggregate,
+                cost_model=self._cost_model,
+                seed=next(self._refresh_counter),
+                clock=self.clock,
+                **self._session_overrides(),
+            )
+            result = session.run()
+            spent = self.clock.now() - started
+            budget -= spent
+            report = result.report
+            estimate = report.estimate or report.estimate_with_overrun
+            if estimate is None:
+                # Not even the overspend estimate survived (faults ate the
+                # run). Put the entry back for the next idle grant instead
+                # of silently losing it, and stop burning this one.
+                self.database.synopses.requeue_refresh(entry)
+                break
+            if report.estimate is None:
+                # Only the overrun stage produced an answer, so the
+                # session's binder had nothing to absorb — deposit it here.
+                relations = sorted(set(entry.expr.base_relations()))
+                self.database.synopses.record_answer(
+                    entry.expr,
+                    entry.aggregate,
+                    relation_fingerprint(self.database.catalog, relations),
+                    estimate,
+                    blocks=sum(s.blocks_read for s in report.stages),
+                )
+            refreshed += 1
+            self.sink.emit(
+                SynopsisRefreshed(
+                    key=entry.expr.structural_hash()[:16],
+                    aggregate=entry.aggregate.kind,
+                    quota=quota,
+                    blocks=sum(s.blocks_read for s in report.stages),
+                    clock=self.clock.now(),
+                )
+            )
+            if budget <= 0:
+                break
+        return refreshed
 
     # ------------------------------------------------------------------
     # Overload shedding
@@ -500,7 +623,7 @@ class QueryServer:
                     seed=self._retry_seed(request.seed, attempt),
                     clock=self.clock,
                     sink=self.sink if self.trace_queries else None,
-                    **self.session_kwargs,
+                    **self._session_overrides(),
                 )
                 result = session.run()
             except StorageError as exc:
@@ -548,18 +671,16 @@ class QueryServer:
                 finished_at=finished,
             )
         elif result is None or result.estimate is None:
-            fallback = None
+            fallback = source = None
             if result is not None and result.faulted:
-                fallback = degraded_estimate(
-                    self.database, request.expr, aggregate=request.aggregate
-                )
+                fallback, source = self._zero_sampling_estimate(request)
             if fallback is not None:
                 outcome = RequestOutcome(
                     request=request,
                     outcome=Outcome.DEGRADED,
                     reason=(
                         f"faults defeated {attempt + 1} attempt(s); "
-                        "zero-sampling prestored answer"
+                        f"zero-sampling {source} answer"
                     ),
                     admitted=True,
                     queue_wait=queue_wait,

@@ -1,0 +1,43 @@
+"""repro.synopses — cross-query synopsis catalog.
+
+Queries over the same relations get cheaper the more the process runs:
+completed sessions deposit per-subtree selectivity posteriors, per-relation
+block-sample summaries, and whole-query answer synopses into a
+:class:`SynopsisCatalog`; later sessions warm-start Revise-Selectivities
+from the posteriors (fewer, bigger stages per quota) and the serving layer
+backs degraded answers with recorded estimates instead of flat prestored
+statistics. Relation mutations invalidate/age the affected entries.
+
+Opt-in via ``REPRO_SYNOPSES=1`` or ``QueryOptions(synopses=True)``; off,
+the engine is bit-identical to one without this package.
+"""
+
+from repro.synopses.binder import SynopsisBinder
+from repro.synopses.catalog import (
+    AnswerSynopsis,
+    RelationSummary,
+    SelectivityPosterior,
+    SynopsisCatalog,
+    SynopsisCatalogInfo,
+    aggregate_key,
+    relation_fingerprint,
+)
+from repro.synopses.events import (
+    SynopsisHit,
+    SynopsisInvalidated,
+    SynopsisRefreshed,
+)
+
+__all__ = [
+    "AnswerSynopsis",
+    "RelationSummary",
+    "SelectivityPosterior",
+    "SynopsisBinder",
+    "SynopsisCatalog",
+    "SynopsisCatalogInfo",
+    "SynopsisHit",
+    "SynopsisInvalidated",
+    "SynopsisRefreshed",
+    "aggregate_key",
+    "relation_fingerprint",
+]

@@ -1,0 +1,59 @@
+"""Typed trace events of the synopsis catalog.
+
+Like the serving layer (:mod:`repro.server.events`), the synopsis catalog
+reports every decision through the observability stream so a warm-started
+run is auditable and replayable: which operators were warm-started (and
+from how much recorded evidence), which entries a mutation threw away, and
+what the idle-capacity refresh hook rebuilt. All three events are
+registered with :func:`~repro.observability.register_event_type`, so JSONL
+traces containing them round-trip through
+:func:`~repro.observability.trace.event_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.observability.trace import TraceEvent, register_event_type
+
+
+@register_event_type
+@dataclass(frozen=True)
+class SynopsisHit(TraceEvent):
+    """A catalog entry was used — to warm-start an operator's selectivity
+    tracker (``scope="warm_start"``) or to back a zero-sampling degraded
+    answer (``scope="degraded_answer"``)."""
+
+    kind: ClassVar[str] = "synopsis_hit"
+    scope: str = "warm_start"
+    key: str = ""
+    relations: str = ""
+    prior_points: float = 0.0
+    prior_mean: float = 0.0
+    runs: int = 0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class SynopsisInvalidated(TraceEvent):
+    """A relation mutation aged or dropped the catalog entries touching it."""
+
+    kind: ClassVar[str] = "synopsis_invalidated"
+    relation: str = ""
+    posteriors_aged: int = 0
+    posteriors_dropped: int = 0
+    answers_dropped: int = 0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class SynopsisRefreshed(TraceEvent):
+    """The budget-charged refresh hook re-derived one invalidated entry."""
+
+    kind: ClassVar[str] = "synopsis_refreshed"
+    key: str = ""
+    aggregate: str = "count"
+    quota: float = 0.0
+    blocks: int = 0
+    clock: float = 0.0

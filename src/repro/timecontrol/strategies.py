@@ -165,7 +165,7 @@ class SingleInterval(TimeControlStrategy):
         def provide(
             tracker: SelectivityTracker, new_points: int, space_points: int
         ) -> float:
-            if tracker.stages_observed == 0:
+            if tracker.stages_observed == 0 and not tracker.has_prior:
                 return tracker.initial
             return tracker.effective_sel_prev()
 
@@ -179,7 +179,7 @@ class SingleInterval(TimeControlStrategy):
         ) -> float:
             base = (
                 tracker.initial
-                if tracker.stages_observed == 0
+                if tracker.stages_observed == 0 and not tracker.has_prior
                 else tracker.effective_sel_prev()
             )
             if tracker is bump:

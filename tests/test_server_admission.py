@@ -117,7 +117,7 @@ class TestPolicies:
         )
         verdict = policy.decide(self.request(), self.infeasible_report())
         assert verdict.action is AdmissionAction.DEGRADE
-        assert "prestored" in verdict.reason
+        assert "without sampling" in verdict.reason
 
     def test_admit_all_never_enforces(self):
         policy = AdmitAll()
@@ -164,13 +164,19 @@ class TestDegradePathThroughServer:
         # Degraded answers are instant: no simulated time was consumed.
         assert server.clock.now() == 0.0
 
-    def test_degrade_falls_back_to_reject_without_statistics(self, bare_db):
+    def test_degrade_without_coverage_is_uncovered_not_rejected(self, bare_db):
         server = QueryServer(bare_db, policy=DegradeInfeasible())
         outcome = server.serve(
             QueryRequest(expr=query(), quota=1e-4, seed=1)
         )
-        assert outcome.outcome is Outcome.REJECTED
+        # A degrade decision with nothing to answer from is a coverage
+        # gap — its own terminal state, distinct from admission rejection.
+        assert outcome.outcome is Outcome.UNCOVERED
+        assert not outcome.answered
+        assert outcome.estimate is None
         assert "analyze" in outcome.reason
+        assert server.metrics.count(Outcome.UNCOVERED) == 1
+        assert server.metrics.count(Outcome.REJECTED) == 0
 
 
 class TestQueryRequest:

@@ -1,0 +1,131 @@
+"""Property suite: warm-started runs stay unbiased.
+
+The catalog's warm-start contract is that priors are *steering only*:
+pseudo-counts feed ``sel_plus`` (stage sizing) and the zero-selectivity
+bound, but the estimator itself sees exactly the run's own observed
+sample. These properties pin that contract under hypothesis-generated
+priors and observations, plus an empirical mean-over-seeds check that
+warm-started end-to-end estimates still centre on the exact count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.options import QueryOptions
+from repro.estimation.selectivity import SelectivityTracker
+from repro.planner import clear_plan_cache
+from repro.relational import cmp, count_exact, rel
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+priors = st.tuples(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+).filter(lambda tp: tp[0] <= tp[1])
+
+stages = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(1, 500)).filter(
+        lambda tp: tp[0] <= tp[1]
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestTrackerProperties:
+    @given(prior=priors, observed=stages)
+    @settings(max_examples=200, deadline=None)
+    def test_observed_counts_never_include_prior(self, prior, observed):
+        """The estimator-facing counts are the run's own sample, exactly."""
+        warm = SelectivityTracker("s", initial=1.0)
+        warm.warm_start(*prior)
+        cold = SelectivityTracker("s", initial=1.0)
+        for tuples, points in observed:
+            warm.record_stage(tuples, points)
+            cold.record_stage(tuples, points)
+        assert warm.total_tuples == cold.total_tuples == sum(
+            t for t, _ in observed
+        )
+        assert warm.total_points == cold.total_points == sum(
+            p for _, p in observed
+        )
+        assert (
+            warm.per_stage_selectivities() == cold.per_stage_selectivities()
+        )
+
+    @given(prior=priors, observed=stages)
+    @settings(max_examples=200, deadline=None)
+    def test_sel_prev_is_the_pooled_mean(self, prior, observed):
+        warm = SelectivityTracker("s", initial=1.0)
+        warm.warm_start(*prior)
+        for tuples, points in observed:
+            warm.record_stage(tuples, points)
+        tuples = sum(t for t, _ in observed) + prior[0]
+        points = sum(p for _, p in observed) + prior[1]
+        assert warm.sel_prev == pytest.approx(tuples / points)
+        assert 0.0 <= warm.sel_prev <= 1.0
+
+    @given(prior=priors)
+    @settings(max_examples=100, deadline=None)
+    def test_prior_alone_sets_sel_prev_without_observation(self, prior):
+        warm = SelectivityTracker("s", initial=1.0)
+        warm.warm_start(*prior)
+        assert warm.stages_observed == 0
+        assert warm.sel_prev == pytest.approx(prior[0] / prior[1])
+        if prior[0] == 0:
+            # A zero-tuple prior still goes through the zero-selectivity
+            # fix, so the stage sizing never divides by zero.
+            assert warm.effective_sel_prev() > 0.0
+
+    @given(prior=priors, observed=stages)
+    @settings(max_examples=100, deadline=None)
+    def test_salvage_restore_is_prior_preserving(self, prior, observed):
+        warm = SelectivityTracker("s", initial=1.0)
+        warm.warm_start(*prior)
+        token = warm.snapshot()
+        before = (warm.prior_tuples, warm.prior_points, warm.sel_prev)
+        for tuples, points in observed:
+            warm.record_stage(tuples, points)
+        warm.restore(token)
+        assert (warm.prior_tuples, warm.prior_points, warm.sel_prev) == before
+        assert warm.total_points == 0
+
+
+class TestEndToEndUnbiasedness:
+    def test_warm_started_estimates_centre_on_exact_count(self):
+        """Mean over seeds of warm-started runs ≈ exact count.
+
+        Each seeded run first executes cold (populating the catalog), then
+        we measure the warm replays only — the runs whose stage sizing was
+        steered by the posterior. Their per-seed estimates vary, but the
+        average must sit on the true count if priors never leak into the
+        estimator.
+        """
+        db = Database(seed=23)
+        db.create_relation(
+            "bias",
+            [("id", "int"), ("a", "int")],
+            rows=[(i, i % 101) for i in range(30_000)],
+        )
+        expr = rel("bias").where(cmp("a", "<", 7))
+        exact = count_exact(expr, db.catalog)
+        warm = QueryOptions(synopses=True)
+        db.estimate(expr, quota=3.0, seed=1, options=warm)  # cold fill
+
+        values = []
+        for seed in range(2, 42):
+            result = db.estimate(expr, quota=3.0, seed=seed, options=warm)
+            assert result.report.estimate is not None
+            values.append(result.report.estimate.value)
+        mean = sum(values) / len(values)
+        # 40 seeds of a clustered estimator: allow a 10% band around truth.
+        assert abs(mean - exact) / exact < 0.10
