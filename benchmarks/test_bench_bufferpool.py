@@ -1,0 +1,178 @@
+"""Buffer-pool wall-clock benchmark — warm decoded blocks vs re-decoding.
+
+The buffer pool (:mod:`repro.storage.bufferpool`) promises the same
+bit-identical charged costs with or without it; what it buys is
+*wall-clock*: a block's rows are materialized and its columns decoded once
+per residency instead of once per read. This benchmark measures both
+halves of that promise:
+
+* **decode path** — the same batched ``read_blocks_decoded`` + full-column
+  access loop is timed cold (no pool: every pass re-materializes rows and
+  re-decodes every column) and warm (shared pool: passes after the first
+  reuse the pooled decode-once arrays). Acceptance bar: the warm-pool
+  path is **≥2× faster**.
+* **cross-request sharing** — a :class:`~repro.server.QueryServer` serves
+  a repeated five-shape workload; later rounds sample blocks earlier
+  rounds admitted, so the server's metrics must report a **nonzero
+  cross-request hit ratio**.
+
+Results land in ``BENCH_bufferpool.json`` at the repo root (uploaded as a
+CI artifact by the ``bufferpool-bench`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.catalog.schema import Schema
+from repro.catalog.types import AttributeType
+from repro.estimation.aggregates import sum_of
+from repro.relational.expression import intersect, rel, select
+from repro.relational.predicate import And, cmp
+from repro.server.admission import DegradeInfeasible
+from repro.server.request import QueryRequest
+from repro.server.scheduler import QueryServer
+from repro.server.workload import demo_database
+from repro.storage.bufferpool import BufferPool, clear_bufferpool_cache
+from repro.storage.heapfile import HeapFile
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.profile import MachineProfile
+
+TUPLES = 40_000
+PASSES = 20
+SERVER_TUPLES = 4_000
+ROUNDS = 4
+SEED = 13
+REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_bufferpool.json"
+)
+
+
+def build_heap() -> HeapFile:
+    schema = Schema.of(
+        a=AttributeType.INT,
+        b=AttributeType.INT,
+        c=AttributeType.INT,
+        tag=AttributeType.STR,
+    )
+    heap = HeapFile("bench", schema)
+    heap.load((i, i % 97, i % 11, f"row-{i % 1000:03d}") for i in range(TUPLES))
+    return heap
+
+
+def time_decode_passes(pool: BufferPool | None) -> float:
+    """Wall-time PASSES full read+decode sweeps over every block."""
+    heap = build_heap()
+    charger = CostCharger(MachineProfile.uniform(0.0))
+    block_ids = list(range(heap.block_count))
+    positions = range(len(heap.schema.attributes))
+    if pool is not None:  # warm the pool: the bar is *warm*-pool speed
+        rows, batch = heap.read_blocks_decoded(block_ids, charger, pool=pool)
+        for position in positions:
+            batch.column(position)
+    start = time.perf_counter()
+    for _ in range(PASSES):
+        rows, batch = heap.read_blocks_decoded(block_ids, charger, pool=pool)
+        for position in positions:
+            batch.column(position)
+    elapsed = time.perf_counter() - start
+    assert len(rows) == TUPLES
+    return elapsed
+
+
+def server_workload() -> list[QueryRequest]:
+    """ROUNDS repeats of five query shapes over the demo database."""
+    half = SERVER_TUPLES // 2
+    shapes = [
+        select(rel("r1"), cmp("a", "<", half)),
+        select(rel("r2"), cmp("a", ">", 40)),
+        select(rel("r1"), And((cmp("a", "<", half), cmp("a", ">", 10)))),
+        rel("r1"),
+        intersect(rel("r1"), rel("r2")),
+    ]
+    aggregates = [None, None, None, sum_of("b"), None]
+    requests = []
+    for round_no in range(ROUNDS):
+        for i, (expr, aggregate) in enumerate(zip(shapes, aggregates)):
+            requests.append(
+                QueryRequest(
+                    expr=expr,
+                    quota=3.0,
+                    aggregate=aggregate,
+                    seed=100 * round_no + i,
+                    # Arrivals spaced past the quota: each request runs on
+                    # an idle server and really samples (a queued request
+                    # would degrade without reading, starving the pool).
+                    arrival=float((round_no * len(shapes) + i) * 4),
+                    request_id=f"r{round_no}/s{i}",
+                )
+            )
+    return requests
+
+
+def test_warm_pool_decode_path_speedup_and_server_sharing():
+    cold_seconds = time_decode_passes(pool=None)
+    warm_seconds = time_decode_passes(pool=BufferPool(capacity=8192))
+    speedup = (
+        cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    )
+
+    clear_bufferpool_cache()
+    db = demo_database(seed=SEED, tuples=SERVER_TUPLES)
+    server = QueryServer(db, policy=DegradeInfeasible(), bufferpool=True)
+    outcomes = server.process(server_workload())
+    metrics = server.metrics
+    ratio = metrics.buffer_hit_ratio
+
+    report = {
+        "settings": {
+            "tuples": TUPLES,
+            "passes": PASSES,
+            "server_tuples": SERVER_TUPLES,
+            "rounds": ROUNDS,
+            "seed": SEED,
+        },
+        "decode_path": {
+            "no_pool_seconds": cold_seconds,
+            "warm_pool_seconds": warm_seconds,
+            "speedup": speedup,
+        },
+        "server": {
+            "requests": len(outcomes),
+            "outcomes": {
+                outcome.outcome.value: sum(
+                    1 for o in outcomes if o.outcome is outcome.outcome
+                )
+                for outcome in outcomes
+            },
+            "buffer_hits": metrics.buffer_hits,
+            "buffer_misses": metrics.buffer_misses,
+            "buffer_evictions": metrics.buffer_evictions,
+            "hit_ratio": ratio,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"  decode path: {cold_seconds*1e3:8.1f} ms cold -> "
+        f"{warm_seconds*1e3:7.1f} ms warm ({speedup:.1f}x)"
+    )
+    print(
+        f"  server: {metrics.buffer_hits} hits / {metrics.buffer_misses} "
+        f"misses (ratio {ratio:.3f})" if ratio is not None else "  server: no reads"
+    )
+    print(f"  report: {REPORT_PATH}")
+
+    # Acceptance bar 1: warm-pool decode path is >=2x faster on wall-clock.
+    assert speedup >= 2.0, (
+        f"warm buffer pool must make the decode path >=2x faster; "
+        f"measured {speedup:.2f}x"
+    )
+    # Acceptance bar 2: requests really share blocks across the stream.
+    assert metrics.buffer_hits > 0
+    assert ratio is not None and ratio > 0.0, (
+        f"expected a nonzero cross-request hit ratio, got {ratio}"
+    )

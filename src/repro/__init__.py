@@ -51,6 +51,11 @@ from repro.faults import (
     FaultRecord,
     FaultSalvaged,
 )
+from repro.kernels import (
+    KernelCacheInfo,
+    clear_kernel_cache,
+    kernel_cache_info,
+)
 from repro.observability import (
     JsonlSink,
     NullSink,
@@ -79,6 +84,16 @@ from repro.relational import (
     select,
     union,
 )
+from repro.storage.bufferpool import (
+    BufferPool,
+    BufferPoolInfo,
+    PooledBatch,
+    bufferpool_cache_info,
+    clear_bufferpool_cache,
+    default_pool,
+    invalidate_bufferpool_relation,
+)
+from repro.storage.events import BufferEvicted, BufferHit, BufferInvalidated
 from repro.synopses import (
     SynopsisBinder,
     SynopsisCatalog,
@@ -112,6 +127,11 @@ __all__ = [
     "AnyOf",
     "Attribute",
     "AttributeType",
+    "BufferEvicted",
+    "BufferHit",
+    "BufferInvalidated",
+    "BufferPool",
+    "BufferPoolInfo",
     "Catalog",
     "CatalogError",
     "Clock",
@@ -131,9 +151,11 @@ __all__ = [
     "HardDeadline",
     "InjectedFault",
     "JsonlSink",
+    "KernelCacheInfo",
     "NullSink",
     "OneAtATimeInterval",
     "PlanExplanation",
+    "PooledBatch",
     "QueryOptions",
     "QueryResult",
     "QuerySession",
@@ -168,14 +190,20 @@ __all__ = [
     "WallClock",
     "attr",
     "avg_of",
+    "bufferpool_cache_info",
+    "clear_bufferpool_cache",
+    "clear_kernel_cache",
     "clear_plan_cache",
     "cmp",
     "count",
     "count_exact",
+    "default_pool",
     "difference",
     "expand_count",
     "intersect",
+    "invalidate_bufferpool_relation",
     "join",
+    "kernel_cache_info",
     "optimizer_enabled",
     "plan_cache_info",
     "project",

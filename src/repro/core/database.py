@@ -137,8 +137,9 @@ class Database:
         Grows the heap file in place and invalidates everything derived
         from the old contents: the plan cache's entries fingerprinted over
         this relation, its prestored statistics (the paper's maintenance
-        burden — re-run :meth:`analyze`), and the synopsis catalog's
-        entries over it. Returns the number of rows appended. This is what
+        burden — re-run :meth:`analyze`), the synopsis catalog's entries
+        over it, and every buffer pool's cached blocks of it. Returns the
+        number of rows appended. This is what
         :mod:`repro.realtime` write transactions call on commit.
         """
         heap = self.catalog.get(name)
@@ -152,12 +153,22 @@ class Database:
         self._on_relation_mutated(name)
 
     def _on_relation_mutated(self, name: str) -> None:
-        """Committed mutation of ``name``: drop every derived artifact."""
+        """Committed mutation of ``name``: drop every derived artifact.
+
+        One breath evicts all four derived layers: plan-cache entries
+        fingerprinted over the relation, its prestored statistics, the
+        synopsis catalog's entries, and every buffer pool's cached blocks
+        (:mod:`repro.storage.bufferpool` broadcasts across live pools).
+        Realtime :class:`~repro.realtime.transaction.WriteTask` commits
+        land here too, via :meth:`append_rows`.
+        """
         from repro.planner.cache import invalidate_plan_cache_relation
+        from repro.storage.bufferpool import invalidate_bufferpool_relation
 
         invalidate_plan_cache_relation(name)
         self.statistics.pop(name, None)
         self.synopses.invalidate_relation(name)
+        invalidate_bufferpool_relation(name)
 
     def relation(self, name: str) -> HeapFile:
         return self.catalog.get(name)
@@ -329,6 +340,19 @@ class Database:
             binder = SynopsisBinder(
                 self.synopses, self.catalog, sink=resolved_sink
             )
+        # None → honour REPRO_BUFFERPOOL (default ON: the pool is a pure
+        # wall-clock optimization — charged costs, estimates, and traces
+        # are bit-identical either way). A BufferPool instance attaches
+        # that specific pool; True/False select the process-wide default
+        # pool or none.
+        from repro.storage.bufferpool import BufferPool, default_pool
+
+        if isinstance(opts.bufferpool, BufferPool):
+            bufferpool = opts.bufferpool
+        elif resolve_switch(opts.bufferpool, "REPRO_BUFFERPOOL", default=True):
+            bufferpool = default_pool()
+        else:
+            bufferpool = None
         rng = self._spawn_rng(seed)
         injector = None
         if opts.fault_plan is not None and opts.fault_plan.active:
@@ -373,6 +397,7 @@ class Database:
             vectorized=opts.vectorized,
             optimize=opts.optimize,
             binder=binder,
+            bufferpool=bufferpool,
         )
 
     def explain(

@@ -30,6 +30,7 @@ if TYPE_CHECKING:
     from repro.costmodel.model import CostModel
     from repro.faults.plan import FaultPlan
     from repro.observability.trace import TraceSink
+    from repro.storage.bufferpool import BufferPool
     from repro.timecontrol.stopping import StoppingCriterion
     from repro.timecontrol.strategies import TimeControlStrategy
     from repro.timekeeping.clock import Clock
@@ -52,6 +53,13 @@ class QueryOptions:
     catalog (:mod:`repro.synopses`): ``None`` honours ``REPRO_SYNOPSES``
     (default *off* — the catalog carries state between runs, so it is
     opt-in); ``False`` is bit-identical to an engine without the catalog.
+    ``bufferpool`` selects the cross-query block cache
+    (:mod:`repro.storage.bufferpool`): ``None`` honours
+    ``REPRO_BUFFERPOOL`` (default *on* — the pool is a pure wall-clock
+    optimization, bit-identical to running without it); ``True``/``False``
+    force the process-wide pool on or off, and a
+    :class:`~repro.storage.bufferpool.BufferPool` instance attaches that
+    specific pool (isolated pools for tests and experiments).
     """
 
     strategy: "TimeControlStrategy | None" = None
@@ -70,6 +78,7 @@ class QueryOptions:
     vectorized: bool | None = None
     optimize: bool | None = None
     synopses: bool | None = None
+    bufferpool: "bool | BufferPool | None" = None
     block_size: int | None = None
     fault_plan: "FaultPlan | None" = None
 

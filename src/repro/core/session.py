@@ -95,6 +95,7 @@ class QuerySession:
         vectorized: bool | None = None,
         optimize: bool | None = None,
         binder=None,
+        bufferpool=None,
     ) -> None:
         from repro.estimation.aggregates import COUNT
 
@@ -125,8 +126,10 @@ class QuerySession:
             injector=context.injector,
             optimize=self.optimize,
             binder=binder,
+            bufferpool=bufferpool,
         )
         self.binder = binder
+        self.bufferpool = bufferpool
         self.executor = TimeConstrainedExecutor(
             self.plan,
             self.strategy,

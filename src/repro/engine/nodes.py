@@ -64,6 +64,7 @@ from repro.timekeeping.profile import CostKind
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.storage.bufferpool import BufferPool
 
 SelProvider = Callable[[SelectivityTracker, int, int], float]
 """Strategy hook: (tracker, candidate_new_points, space_points) -> sel used."""
@@ -254,6 +255,7 @@ class StagedScan(_NodeBase):
         spool: "Spool | None" = None,
         vectorized: bool = False,
         injector: "FaultInjector | None" = None,
+        bufferpool: "BufferPool | None" = None,
     ) -> None:
         super().__init__(
             charger,
@@ -266,6 +268,7 @@ class StagedScan(_NodeBase):
         )
         self.relation = relation
         self.sampler = sampler
+        self.bufferpool = bufferpool
         self.schema = relation.schema
         self.cum_tuples = 0
         self.new_tuples = 0
@@ -296,11 +299,20 @@ class StagedScan(_NodeBase):
         if fraction is None:
             raise TimeControlError("scan.advance needs the stage fraction")
         d = self._blocks_for(fraction)
+        batch: ColumnBatch | None = None
         with self.charger.measure() as meter:
             block_ids = self.sampler.draw(d)
-            rows = self.relation.read_blocks(
-                block_ids, self.charger, self.injector
-            )
+            if self.bufferpool is not None and self.vectorized:
+                # Pooled + columnar: resident blocks hand back their
+                # decode-once arrays. Charges and injector consultations
+                # are issued per block exactly as on the plain path.
+                rows, batch = self.relation.read_blocks_decoded(
+                    block_ids, self.charger, self.injector, self.bufferpool
+                )
+            else:
+                rows = self.relation.read_blocks(
+                    block_ids, self.charger, self.injector, self.bufferpool
+                )
         if d:
             self.cost_model.observe(step_names.SCAN_READ, [d, 1.0], meter.elapsed)
         self._stage_rows = rows
@@ -308,7 +320,9 @@ class StagedScan(_NodeBase):
             # Decode the stage's blocks into the columnar view once; every
             # term that shares this scan reuses the same batch. Uncharged:
             # the simulated block reads above already paid for the I/O.
-            self.stage_columns = ColumnBatch(rows, self.schema)
+            self.stage_columns = (
+                batch if batch is not None else ColumnBatch(rows, self.schema)
+            )
         self.new_tuples = len(rows)
         self.cum_tuples += len(rows)
         self.stage = stage

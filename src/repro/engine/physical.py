@@ -48,6 +48,7 @@ from repro.timekeeping.charger import CostCharger
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.storage.bufferpool import BufferPool
     from repro.synopses.binder import SynopsisBinder
 
 DEFAULT_INITIAL_SELECTIVITY = {
@@ -76,6 +77,7 @@ class PhysicalPlanBuilder:
         hint_provider=None,
         pin_selectivities: bool = False,
         binder: "SynopsisBinder | None" = None,
+        bufferpool: "BufferPool | None" = None,
     ) -> None:
         self.catalog = catalog
         self.charger = charger
@@ -85,6 +87,7 @@ class PhysicalPlanBuilder:
         self.full_fulfillment = full_fulfillment
         self.vectorized = vectorized
         self.injector = injector
+        self.bufferpool = bufferpool
         self._hint_provider = hint_provider
         self._pin_selectivities = pin_selectivities
         self._binder = binder
@@ -151,6 +154,7 @@ class PhysicalPlanBuilder:
                 self._scans[expr.name] = StagedScan(
                     relation,
                     BlockSampler(relation, self.rng),
+                    bufferpool=self.bufferpool,
                     **self._common_kwargs(),
                 )
             return self._scans[expr.name]

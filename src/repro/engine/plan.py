@@ -69,6 +69,7 @@ from repro.timekeeping.charger import CostCharger
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.storage.bufferpool import BufferPool
     from repro.synopses.binder import SynopsisBinder
 
 __all__ = [
@@ -169,8 +170,10 @@ class StagedPlan:
         injector: "FaultInjector | None" = None,
         optimize: bool = False,
         binder: "SynopsisBinder | None" = None,
+        bufferpool: "BufferPool | None" = None,
     ) -> None:
         self.expr = expr
+        self.bufferpool = bufferpool
         # None → honour the process-wide REPRO_KERNELS switch (default on).
         self.vectorized = kernels_enabled() if vectorized is None else vectorized
         self.sink: TraceSink = sink if sink is not None else NULL_SINK
@@ -237,6 +240,7 @@ class StagedPlan:
             hint_provider=hint_provider,
             pin_selectivities=pin_selectivities,
             binder=binder,
+            bufferpool=bufferpool,
         )
         self.binder = binder
         self.spool = self._builder.spool

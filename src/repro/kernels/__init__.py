@@ -21,8 +21,11 @@ from __future__ import annotations
 from repro.core.switches import env_switch
 from repro.kernels.cache import (
     CompiledPredicate,
+    KernelCacheInfo,
     cached_sort_key,
+    clear_kernel_cache,
     compiled_predicate,
+    kernel_cache_info,
 )
 from repro.kernels.columns import ColumnBatch, column_array, columnize
 from repro.kernels.runs import (
@@ -49,14 +52,17 @@ def kernels_enabled() -> bool:
 __all__ = [
     "ColumnBatch",
     "CompiledPredicate",
+    "KernelCacheInfo",
     "KeyedRows",
     "SortedRun",
     "cached_sort_key",
+    "clear_kernel_cache",
     "column_array",
     "columnize",
     "compiled_predicate",
     "encode_columns",
     "first_occurrence",
+    "kernel_cache_info",
     "kernels_enabled",
     "match_pairs",
     "stable_lexsort",

@@ -55,3 +55,36 @@ def compiled_predicate(predicate: Predicate, schema: Schema) -> CompiledPredicat
 def cached_sort_key(positions: tuple[int, ...]) -> SortKey:
     """Shared sort-key extractor for attribute ``positions``."""
     return key_for_positions(positions)
+
+
+@dataclass(frozen=True)
+class KernelCacheInfo:
+    """Combined counters of both compile LRUs, ``cache_info()``-style.
+
+    Matches the shape of :class:`repro.planner.cache.PlanCacheInfo` and
+    :class:`repro.storage.bufferpool.BufferPoolInfo` — one introspection
+    surface across all three process-wide caches.
+    """
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+def kernel_cache_info() -> KernelCacheInfo:
+    """Summed hit/miss/size counters of the predicate and sort-key LRUs."""
+    predicate = _cached_compile.cache_info()
+    sort_key = cached_sort_key.cache_info()
+    return KernelCacheInfo(
+        hits=predicate.hits + sort_key.hits,
+        misses=predicate.misses + sort_key.misses,
+        maxsize=(predicate.maxsize or 0) + (sort_key.maxsize or 0),
+        currsize=predicate.currsize + sort_key.currsize,
+    )
+
+
+def clear_kernel_cache() -> None:
+    """Drop both compile LRUs and reset their counters (tests)."""
+    _cached_compile.cache_clear()
+    cached_sort_key.cache_clear()

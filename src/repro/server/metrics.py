@@ -24,6 +24,7 @@ from repro.server.events import (
     RequestCompleted,
 )
 from repro.server.request import Outcome
+from repro.storage.events import BufferEvicted, BufferHit, BufferInvalidated
 
 LATENESS_EDGES = (0.001, 0.01, 0.1, 1.0, 10.0)
 """Default lateness histogram bucket edges (seconds past the deadline)."""
@@ -90,6 +91,12 @@ class ServerMetrics:
         self.queue_wait_total = 0.0
         self.lateness = BucketHistogram(LATENESS_EDGES)
         self.achieved_ci = BucketHistogram(CI_EDGES)
+        # Buffer-pool traffic (events arrive when the server points the
+        # process-wide pool's sink at its own stream — see QueryServer).
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.buffer_evictions = 0
+        self.buffer_invalidations = 0
 
     # ------------------------------------------------------------------
     # TraceSink
@@ -104,6 +111,13 @@ class ServerMetrics:
                 self.rejected_at_admission += 1
             elif event.action == "degrade":
                 self.degraded_at_admission += 1
+        elif isinstance(event, BufferHit):
+            self.buffer_hits += event.hits
+            self.buffer_misses += event.misses
+        elif isinstance(event, BufferEvicted):
+            self.buffer_evictions += 1
+        elif isinstance(event, BufferInvalidated):
+            self.buffer_invalidations += event.entries
         elif isinstance(event, RequestCompleted):
             self.outcomes[Outcome(event.outcome)] += 1
             self.queue_wait_total += event.queue_wait
@@ -148,6 +162,14 @@ class ServerMetrics:
     def mean_queue_wait(self) -> float:
         return self.queue_wait_total / self.completed if self.completed else 0.0
 
+    @property
+    def buffer_hit_ratio(self) -> float | None:
+        """Pooled block reads served from cache; ``None`` before any read."""
+        reads = self.buffer_hits + self.buffer_misses
+        if reads == 0:
+            return None
+        return self.buffer_hits / reads
+
     def as_dict(self) -> dict:
         return {
             "arrived": self.arrived,
@@ -160,6 +182,11 @@ class ServerMetrics:
             "mean_queue_wait": self.mean_queue_wait,
             "lateness": self.lateness.as_dict(),
             "achieved_ci": self.achieved_ci.as_dict(),
+            "buffer_hits": self.buffer_hits,
+            "buffer_misses": self.buffer_misses,
+            "buffer_evictions": self.buffer_evictions,
+            "buffer_invalidations": self.buffer_invalidations,
+            "buffer_hit_ratio": self.buffer_hit_ratio,
         }
 
     def render(self) -> str:
@@ -185,4 +212,12 @@ class ServerMetrics:
             f"  mean achieved CI half-width: {self.achieved_ci.mean:.3f} "
             f"over {self.achieved_ci.observed} answers",
         ]
+        ratio = self.buffer_hit_ratio
+        if ratio is not None:
+            lines.append(
+                f"  buffer pool: {self.buffer_hits} hits / "
+                f"{self.buffer_misses} misses (ratio {ratio:.3f}), "
+                f"{self.buffer_evictions} evicted, "
+                f"{self.buffer_invalidations} invalidated"
+            )
         return "\n".join(lines)

@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, ContextManager, Iterable, Sequence
 
 from repro.core.database import Database
 from repro.core.switches import resolve_switch
@@ -144,6 +145,7 @@ class QueryServer:
         max_fault_retries: int = 1,
         retry_backoff: float = 0.05,
         synopses: bool | None = None,
+        bufferpool: bool | None = None,
     ) -> None:
         if database.clock_kind != "simulated":
             raise ValueError(
@@ -178,6 +180,28 @@ class QueryServer:
         self.synopses = resolve_switch(synopses, "REPRO_SYNOPSES", default=False)
         if self.synopses:
             self.database.synopses.sink = self.sink
+        # None → honour REPRO_BUFFERPOOL (default on). When on, every
+        # session the server opens shares the process-wide buffer pool —
+        # concurrent requests sampling the same relation hit each other's
+        # decoded blocks — and, while *this* server is processing, the
+        # pool's hit/miss/eviction events are routed onto the server's
+        # metrics stream (never the per-session traces, which stay
+        # bit-identical pool on/off). Routing is scoped per call rather
+        # than a permanent sink reassignment: the pool outlives any one
+        # server, and a later server must not inherit a torn-down sink.
+        self.bufferpool = resolve_switch(
+            bufferpool, "REPRO_BUFFERPOOL", default=True
+        )
+        from repro.storage.bufferpool import BufferPool, default_pool
+
+        pool_setting = self.session_kwargs.get("bufferpool", self.bufferpool)
+        self._pool: BufferPool | None
+        if isinstance(pool_setting, BufferPool):
+            self._pool = pool_setting
+        elif resolve_switch(pool_setting, "REPRO_BUFFERPOOL", default=True):
+            self._pool = default_pool()
+        else:
+            self._pool = None
         self._seq = itertools.count()
         self._refresh_counter = itertools.count(1)
         self.outcomes: list[RequestOutcome] = []
@@ -212,22 +236,35 @@ class QueryServer:
                 if follow is not None:
                     self._insert_arrival(arrivals, follow)
 
-        while arrivals or queue:
-            if not queue and arrivals:
-                # Idle server: sleep until the next arrival.
-                self.clock.advance_to(arrivals[0].arrival)
-            now = self.clock.now()
-            while arrivals and arrivals[0].arrival <= now:
-                self._on_arrival(arrivals.pop(0), queue, finish)
-            if not queue:
-                continue
-            for shed in self._shed_overload(queue):
-                finish(shed)
-            if not queue:
-                continue
-            ticket = heapq.heappop(queue)
-            finish(self._dispatch(ticket))
+        with self._pool_routing():
+            while arrivals or queue:
+                if not queue and arrivals:
+                    # Idle server: sleep until the next arrival.
+                    self.clock.advance_to(arrivals[0].arrival)
+                now = self.clock.now()
+                while arrivals and arrivals[0].arrival <= now:
+                    self._on_arrival(arrivals.pop(0), queue, finish)
+                if not queue:
+                    continue
+                for shed in self._shed_overload(queue):
+                    finish(shed)
+                if not queue:
+                    continue
+                ticket = heapq.heappop(queue)
+                finish(self._dispatch(ticket))
         return produced
+
+    def _pool_routing(self) -> ContextManager:
+        """Scope the shared pool's events onto this server's sink.
+
+        Buffer hits raised while this server runs requests land on *its*
+        :class:`~repro.server.metrics.ServerMetrics`; outside the scope
+        the pool falls back to its own sink, so two servers over one
+        process-wide pool never see each other's counters (and a closed
+        sink from a torn-down server can never poison a later one)."""
+        if self._pool is None:
+            return nullcontext()
+        return self._pool.route_events(self.sink)
 
     def serve(self, request: QueryRequest) -> RequestOutcome:
         """Serve one request immediately (arrival = now); returns its outcome."""
@@ -262,9 +299,10 @@ class QueryServer:
         arrivals.insert(index, request)
 
     def _session_overrides(self) -> dict:
-        """Per-session keyword overrides: the synopses flag, then the
-        caller's ``session_kwargs`` (which win on conflict)."""
-        overrides = {"synopses": self.synopses}
+        """Per-session keyword overrides: the synopses and bufferpool
+        flags, then the caller's ``session_kwargs`` (which win on
+        conflict)."""
+        overrides = {"synopses": self.synopses, "bufferpool": self.bufferpool}
         overrides.update(self.session_kwargs)
         return overrides
 
@@ -471,6 +509,10 @@ class QueryServer:
         """
         if not self.synopses or budget <= 0:
             return 0
+        with self._pool_routing():
+            return self._refresh_synopses(budget)
+
+    def _refresh_synopses(self, budget: float) -> int:
         refreshed = 0
         while True:
             entry = self.database.synopses.pop_refresh()

@@ -1,14 +1,34 @@
 """Simulated-disk storage substrate (system S1)."""
 
 from repro.storage.block import DiskBlock, Row
+from repro.storage.bufferpool import (
+    BufferPool,
+    BufferPoolInfo,
+    PooledBatch,
+    bufferpool_cache_info,
+    clear_bufferpool_cache,
+    default_pool,
+    invalidate_bufferpool_relation,
+)
+from repro.storage.events import BufferEvicted, BufferHit, BufferInvalidated
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE, HeapFile
 from repro.storage.spool import Spool, SpoolFile
 
 __all__ = [
+    "BufferEvicted",
+    "BufferHit",
+    "BufferInvalidated",
+    "BufferPool",
+    "BufferPoolInfo",
     "DEFAULT_BLOCK_SIZE",
     "DiskBlock",
     "HeapFile",
+    "PooledBatch",
     "Row",
     "Spool",
     "SpoolFile",
+    "bufferpool_cache_info",
+    "clear_bufferpool_cache",
+    "default_pool",
+    "invalidate_bufferpool_relation",
 ]

@@ -1,0 +1,387 @@
+"""The buffer pool — decoded blocks cached and shared across queries.
+
+The engine charges *simulated* time for every sampled block (the paper's
+dominant ``BLOCK_READ`` term) — but on the wall-clock side each stage used
+to re-materialize Python row tuples and re-run :func:`~repro.kernels.
+columns.columnize` even when the very same block was decoded moments ago
+by an earlier stage, a salvage retry, or a concurrent server request over
+the same relation. :class:`BufferPool` is a process-wide, thread-safe
+buffer manager that caches, per ``(relation name, size fingerprint,
+block_id)``, both the raw row tuples and their lazily decoded columnar
+arrays, so the decode happens once and every later reader shares it.
+
+The hard contract (invariant 9 in ``docs/architecture.md``): **charged
+simulated costs, estimates, stage schedules, and traces are bit-identical
+with the pool on or off.** Concretely:
+
+* every sampled block is still charged one full ``BLOCK_READ`` — a cache
+  hit is a wall-clock shortcut, never a cost-model change;
+* the fault injector is consulted per block in the exact same order on
+  hits and misses, so injected-fault replay streams are untouched;
+* a faulted read is **never admitted** — the injector runs *before* the
+  lookup/admit step, so an :class:`~repro.errors.InjectedFault` (or a
+  deadline raise from a slow-read stall) propagates with the cache
+  unchanged;
+* buffer events go to the pool's **own** sink, never the session's trace
+  sink. :class:`~repro.server.QueryServer` routes them to its metrics
+  stream only for the duration of its own processing
+  (:meth:`BufferPool.route_events`), and a sink that raises is dropped
+  silently — observability can never alter execution.
+
+Keys embed a per-:class:`~repro.storage.heapfile.HeapFile` storage token
+plus the relation's tuple/block counts, so two relations that happen to
+share a name (separate :class:`~repro.core.database.Database` instances,
+drop-and-recreate) can never alias each other's blocks. Committed
+mutations additionally evict explicitly through
+:func:`invalidate_bufferpool_relation`, which
+:meth:`~repro.core.database.Database.append_rows` / ``drop_relation`` (and
+therefore realtime :class:`~repro.realtime.transaction.WriteTask` commits)
+call alongside plan-cache and synopsis invalidation.
+
+Capacity is a bounded LRU over block entries; entries referenced by a live
+:class:`PooledBatch` are *pinned* (refcounted, released by a weakref
+finalizer when the batch is garbage-collected) and skipped by eviction, so
+a stage can never lose the columns it is actively filtering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+from repro.kernels.columns import ColumnBatch, column_array
+from repro.observability.trace import NULL_SINK, TraceSink
+from repro.storage.block import Row
+from repro.storage.events import BufferEvicted, BufferHit, BufferInvalidated
+
+if TYPE_CHECKING:
+    from repro.storage.heapfile import HeapFile
+
+DEFAULT_CAPACITY = 4096
+"""Default LRU capacity in block entries (≈ 4k blocks of rows + columns)."""
+
+_pool_ids = itertools.count(1)
+
+PoolKey = tuple[str, str, int]
+"""``(relation name, size fingerprint, block_id)``."""
+
+
+@dataclass(frozen=True)
+class BufferPoolInfo:
+    """Counters in the style of ``functools.lru_cache``'s ``cache_info``,
+    extended with the pool's eviction/invalidation/pin bookkeeping."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+    evictions: int
+    invalidations: int
+    pinned: int
+
+
+class _BlockEntry:
+    """One resident block: its row tuple plus lazily decoded columns."""
+
+    __slots__ = ("key", "rows", "schema", "pins", "_cols")
+
+    def __init__(self, key: PoolKey, rows: tuple[Row, ...], schema: Schema) -> None:
+        self.key = key
+        self.rows = rows
+        self.schema = schema
+        self.pins = 0
+        self._cols: dict[int, np.ndarray] = {}
+
+    def column(self, position: int) -> np.ndarray:
+        """This block's array for attribute ``position`` (decoded once)."""
+        col = self._cols.get(position)
+        if col is None:
+            attr = self.schema.attributes[position]
+            col = column_array([r[position] for r in self.rows], attr.type)
+            self._cols[position] = col
+        return col
+
+
+class PooledBatch(ColumnBatch):
+    """A :class:`~repro.kernels.columns.ColumnBatch` whose columns come
+    from pooled per-block arrays instead of a fresh decode.
+
+    ``rows`` stays the authoritative flat row list (identical, element for
+    element, to what the unpooled read returns), so everything downstream
+    of the scan — estimates, charges, traces — is untouched. Only
+    :meth:`column` changes: it concatenates the blocks' cached arrays
+    (decoding each block at most once, pool-wide) instead of re-decoding
+    the stage's rows. Mixed per-block dtypes concatenate to the widest
+    (``int64`` + ``object`` → ``object``, ``<U3`` + ``<U5`` → ``<U5``),
+    preserving exact comparison semantics.
+    """
+
+    __slots__ = ("_entries", "__weakref__")
+
+    def __init__(
+        self,
+        rows: Sequence[Row],
+        schema: Schema,
+        entries: Sequence[_BlockEntry],
+    ) -> None:
+        super().__init__(rows, schema)
+        self._entries = tuple(entries)
+
+    def column(self, position: int) -> np.ndarray:
+        col = self._cols.get(position)
+        if col is None:
+            if not self._entries:
+                attr = self.schema.attributes[position]
+                col = column_array((), attr.type)
+            elif len(self._entries) == 1:
+                col = self._entries[0].column(position)
+            else:
+                col = np.concatenate(
+                    [e.column(position) for e in self._entries]
+                )
+            self._cols[position] = col
+        return col
+
+
+class BufferPool:
+    """A thread-safe, capacity-bounded LRU over decoded disk blocks."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sink: TraceSink | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer pool capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.sink: TraceSink = sink if sink is not None else NULL_SINK
+        self.label = f"bufferpool-{next(_pool_ids)}"
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[PoolKey, _BlockEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        _all_pools.add(self)
+
+    # ------------------------------------------------------------------
+    # Lookup / admission (called by HeapFile after charge + injector)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(relation: "HeapFile") -> str:
+        """Identity of the relation *contents* a key was built against.
+
+        The per-heap storage token distinguishes same-named relations from
+        different databases (or a drop-and-recreate); the size components
+        make a grown heap miss naturally even before the explicit
+        mutation-time eviction lands.
+        """
+        return (
+            f"{relation.storage_token}:"
+            f"{relation.tuple_count}:{relation.block_count}"
+        )
+
+    def get_or_admit(
+        self, relation: "HeapFile", block_id: int
+    ) -> tuple[_BlockEntry, bool]:
+        """The resident entry for one block, admitting it on miss.
+
+        Returns ``(entry, hit)``. Must be called only after the block's
+        ``BLOCK_READ`` was charged and the fault injector consulted: a
+        read that raised never reaches this point, so faulted reads are
+        never admitted.
+        """
+        key = (relation.name, self.fingerprint(relation), block_id)
+        evicted: list[_BlockEntry] = []
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry, True
+            self._misses += 1
+            entry = _BlockEntry(
+                key, tuple(relation.block_rows_uncharged(block_id)), relation.schema
+            )
+            self._entries[key] = entry
+            # Evict LRU-first, skipping pinned entries (a stage holds a
+            # live reference to their columns); the pool may transiently
+            # exceed capacity when everything resident is pinned.
+            if len(self._entries) > self.capacity:
+                for candidate_key in list(self._entries):
+                    if len(self._entries) <= self.capacity:
+                        break
+                    candidate = self._entries[candidate_key]
+                    if candidate.pins > 0 or candidate_key == key:
+                        continue
+                    del self._entries[candidate_key]
+                    evicted.append(candidate)
+                self._evictions += len(evicted)
+        for victim in evicted:
+            self._emit(
+                BufferEvicted(relation=victim.key[0], block_id=victim.key[2])
+            )
+        return entry, False
+
+    def note_read(
+        self, relation_name: str, blocks: int, hits: int, misses: int
+    ) -> None:
+        """Report one batched read's hit/miss split to the pool's sink."""
+        if blocks:
+            self._emit(
+                BufferHit(
+                    relation=relation_name,
+                    blocks=blocks,
+                    hits=hits,
+                    misses=misses,
+                )
+            )
+
+    def _emit(self, event) -> None:
+        """Emit to the pool's sink, swallowing sink failures.
+
+        Buffer events are pure observability; a broken sink (say, a
+        JSONL file closed after its server was torn down) must never
+        leak an exception into a query that happened to touch the pool —
+        that would violate the on/off bit-identity contract.
+        """
+        try:
+            self.sink.emit(event)
+        except Exception:
+            pass
+
+    @contextmanager
+    def route_events(self, sink: TraceSink) -> Iterator["BufferPool"]:
+        """Route this pool's events to ``sink`` for the scope's duration.
+
+        Servers use this instead of reassigning :attr:`sink` permanently:
+        a shared pool outlives any one :class:`~repro.server.QueryServer`,
+        and events raised while *this* server runs belong on *its* metrics
+        stream — not whichever server was constructed last.
+        """
+        previous = self.sink
+        self.sink = sink
+        try:
+            yield self
+        finally:
+            self.sink = previous
+
+    # ------------------------------------------------------------------
+    # Pinning (entries referenced by a live PooledBatch)
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        rows: Sequence[Row],
+        schema: Schema,
+        entries: Sequence[_BlockEntry],
+    ) -> PooledBatch:
+        """A columnar batch over pooled entries, pinned while it lives."""
+        batch = PooledBatch(rows, schema, entries)
+        if entries:
+            self.pin(entries)
+            weakref.finalize(batch, self.unpin, tuple(entries))
+        return batch
+
+    def pin(self, entries: Sequence[_BlockEntry]) -> None:
+        with self._lock:
+            for entry in entries:
+                entry.pins += 1
+
+    def unpin(self, entries: Sequence[_BlockEntry]) -> None:
+        with self._lock:
+            for entry in entries:
+                entry.pins = max(0, entry.pins - 1)
+
+    # ------------------------------------------------------------------
+    # Invalidation and introspection
+    # ------------------------------------------------------------------
+    def invalidate_relation(self, name: str) -> int:
+        """Drop every entry of relation ``name`` (any fingerprint).
+
+        Called on committed mutations, in the same breath as plan-cache
+        and synopsis invalidation. Pinned entries are dropped from the
+        pool too: a batch already holding them keeps its (pre-mutation)
+        arrays alive, but no future read can see them. Returns the number
+        of entries dropped.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == name]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+        if doomed:
+            self._emit(BufferInvalidated(relation=name, entries=len(doomed)))
+        return len(doomed)
+
+    def info(self) -> BufferPoolInfo:
+        """Current counters, ``lru_cache.cache_info()``-style."""
+        with self._lock:
+            return BufferPoolInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self.capacity,
+                currsize=len(self._entries),
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                pinned=sum(1 for e in self._entries.values() if e.pins > 0),
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters (tests; catalog reloads)."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._invalidations = 0
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"BufferPool({self.label}, {info.currsize}/{info.maxsize} blocks, "
+            f"hits={info.hits}, misses={info.misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default pool + the unified cache-introspection surface
+# ----------------------------------------------------------------------
+_all_pools: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+_DEFAULT_POOL = BufferPool()
+
+
+def default_pool() -> BufferPool:
+    """The process-wide pool sessions share when ``REPRO_BUFFERPOOL`` is on."""
+    return _DEFAULT_POOL
+
+
+def bufferpool_cache_info() -> BufferPoolInfo:
+    """Counters of the process-wide default pool (cf. ``plan_cache_info``)."""
+    return _DEFAULT_POOL.info()
+
+
+def clear_bufferpool_cache() -> None:
+    """Drop all entries of the default pool and reset its counters."""
+    _DEFAULT_POOL.clear()
+
+
+def invalidate_bufferpool_relation(name: str) -> int:
+    """Evict relation ``name`` from **every** live pool (default + custom).
+
+    Mutation safety must not depend on which pool instance a session was
+    configured with, so committed mutations broadcast. Returns the total
+    number of entries dropped across pools.
+    """
+    dropped = 0
+    for pool in list(_all_pools):
+        dropped += pool.invalidate_relation(name)
+    return dropped

@@ -1,0 +1,63 @@
+"""Typed trace events of the buffer pool.
+
+Like the serving layer (:mod:`repro.server.events`) and the synopsis
+catalog (:mod:`repro.synopses.events`), the buffer pool reports its
+decisions through the observability stream: how many of a read's blocks
+were already resident, which entries the LRU evicted, and which a relation
+mutation threw away. All three events are registered with
+:func:`~repro.observability.register_event_type`, so JSONL traces
+containing them round-trip through
+:func:`~repro.observability.trace.event_from_dict`.
+
+Buffer events deliberately do **not** flow into per-session trace sinks:
+the pool is a wall-clock optimization and session traces must stay
+bit-identical with the pool on or off (invariant 9 in
+``docs/architecture.md``). They go to the pool's *own* sink, which
+:class:`~repro.server.QueryServer` routes onto its metrics stream for the
+duration of its own processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.observability.trace import TraceEvent, register_event_type
+
+
+@register_event_type
+@dataclass(frozen=True)
+class BufferHit(TraceEvent):
+    """One batched block read consulted the pool.
+
+    Emitted once per :meth:`~repro.storage.heapfile.HeapFile.read_blocks`
+    call that went through a pool (not once per block, keeping event volume
+    at one per scan stage); ``hits``/``misses`` split the read's blocks
+    into already-resident and freshly admitted.
+    """
+
+    kind: ClassVar[str] = "buffer_hit"
+    relation: str = ""
+    blocks: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class BufferEvicted(TraceEvent):
+    """The capacity-bounded LRU evicted one unpinned block entry."""
+
+    kind: ClassVar[str] = "buffer_evicted"
+    relation: str = ""
+    block_id: int = 0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class BufferInvalidated(TraceEvent):
+    """A relation mutation dropped every pooled entry of that relation."""
+
+    kind: ClassVar[str] = "buffer_invalidated"
+    relation: str = ""
+    entries: int = 0

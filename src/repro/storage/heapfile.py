@@ -11,6 +11,7 @@ formulas, and sampling draws whole blocks.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.catalog.schema import Schema
@@ -20,10 +21,16 @@ from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.profile import CostKind
 
 if TYPE_CHECKING:
+    from repro.kernels.columns import ColumnBatch
+    from repro.storage.bufferpool import BufferPool
+
     from repro.faults.injector import FaultInjector
 
 DEFAULT_BLOCK_SIZE = 1024
 """The paper's 1 KB disk block."""
+
+_storage_tokens = itertools.count(1)
+"""Process-unique tokens telling heap instances apart in buffer-pool keys."""
 
 
 class HeapFile:
@@ -46,6 +53,10 @@ class HeapFile:
         self.blocking_factor = schema.blocking_factor(block_size)
         self._blocks: list[DiskBlock] = []
         self._tuple_count = 0
+        # Unique per heap instance: buffer-pool keys fold it into the size
+        # fingerprint so two same-named relations holding different data
+        # (separate databases; drop-and-recreate) can never alias.
+        self.storage_token = next(_storage_tokens)
 
     # ------------------------------------------------------------------
     # Loading
@@ -118,12 +129,82 @@ class HeapFile:
         block_ids: Sequence[int],
         charger: CostCharger,
         injector: "FaultInjector | None" = None,
+        pool: "BufferPool | None" = None,
     ) -> list[Row]:
-        """Read several blocks (each charged), concatenating their rows."""
-        rows: list[Row] = []
-        for block_id in block_ids:
-            rows.extend(self.read_block(block_id, charger, injector))
+        """Read several blocks (each charged), concatenating their rows.
+
+        With a :class:`~repro.storage.bufferpool.BufferPool`, resident
+        blocks skip re-materialization — but the charge and the injector
+        consultation happen per block either way, in the same order, so
+        simulated costs and fault streams are bit-identical pool on/off.
+        """
+        if pool is None:
+            rows: list[Row] = []
+            for block_id in block_ids:
+                rows.extend(self.read_block(block_id, charger, injector))
+            return rows
+        rows, _ = self._read_pooled(block_ids, charger, injector, pool)
         return rows
+
+    def read_blocks_decoded(
+        self,
+        block_ids: Sequence[int],
+        charger: CostCharger,
+        injector: "FaultInjector | None" = None,
+        pool: "BufferPool | None" = None,
+    ) -> "tuple[list[Row], ColumnBatch]":
+        """Like :meth:`read_blocks`, plus a lazy columnar view of the rows.
+
+        With a pool, the batch is a :class:`~repro.storage.bufferpool.
+        PooledBatch` sharing each block's decode-once arrays (pinned while
+        the batch lives); without one it is a plain
+        :class:`~repro.kernels.columns.ColumnBatch` over the fresh rows.
+        Either way ``batch.rows`` *is* the returned list, so the engine's
+        batch-identity handoff between nodes keeps working.
+        """
+        from repro.kernels.columns import ColumnBatch
+
+        if pool is None:
+            rows = self.read_blocks(block_ids, charger, injector)
+            return rows, ColumnBatch(rows, self.schema)
+        rows, entries = self._read_pooled(block_ids, charger, injector, pool)
+        return rows, pool.batch(rows, self.schema, entries)
+
+    def _read_pooled(
+        self,
+        block_ids: Sequence[int],
+        charger: CostCharger,
+        injector: "FaultInjector | None",
+        pool: "BufferPool",
+    ) -> tuple[list[Row], list]:
+        """Charged per-block reads through the pool.
+
+        Order per block: bounds check → ``BLOCK_READ`` charge → injector →
+        pool lookup/admit. A raise from the charge (armed deadline) or the
+        injector (injected fault, slow-read stall past the deadline)
+        propagates *before* the admit step, so a faulted read never
+        poisons the cache.
+        """
+        rows: list[Row] = []
+        entries = []
+        hits = 0
+        for block_id in block_ids:
+            if not 0 <= block_id < len(self._blocks):
+                raise StorageError(
+                    f"relation {self.name!r} has no block {block_id} "
+                    f"(has {len(self._blocks)})",
+                    relation=self.name,
+                    block_id=block_id,
+                )
+            charger.charge(CostKind.BLOCK_READ, 1)
+            if injector is not None:
+                injector.on_block_read(self.name, block_id, charger)
+            entry, hit = pool.get_or_admit(self, block_id)
+            hits += hit
+            entries.append(entry)
+            rows.extend(entry.rows)
+        pool.note_read(self.name, len(block_ids), hits, len(block_ids) - hits)
+        return rows, entries
 
     def scan(self, charger: CostCharger) -> Iterator[Row]:
         """Full sequential scan, charging one ``BLOCK_READ`` per block.

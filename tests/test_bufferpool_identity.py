@@ -1,0 +1,230 @@
+"""Bit-identity pins for the buffer pool (invariant 9).
+
+The pool is a wall-clock optimization and nothing else: charged simulated
+costs, estimates, stage schedules, and per-session trace streams must be
+bit-identical with the pool on or off, cold or warm, interleaved or
+serial, faulted or not. These tests pin that contract over both kernel
+paths, the three canonical query shapes, a 50-session interleave stress,
+and injected-fault replay; ``test_bufferpool.py`` covers the pool's own
+mechanics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.options import QueryOptions
+from repro.errors import InjectedFault
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.observability import RecordingSink
+from repro.planner import clear_plan_cache
+from repro.relational import cmp, join, rel
+from repro.server.workload import demo_database
+from repro.storage.bufferpool import BufferPool, clear_bufferpool_cache
+from repro.timekeeping.charger import CostCharger
+from repro.timekeeping.profile import MachineProfile
+from tests.conftest import make_relation
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    clear_bufferpool_cache()
+    yield
+    clear_plan_cache()
+    clear_bufferpool_cache()
+
+
+def make_db(seed: int = 11) -> Database:
+    db = Database(seed=seed)
+    db.create_relation(
+        "r1",
+        [("id", "int"), ("a", "int")],
+        rows=[(i, i % 97) for i in range(12_000)],
+    )
+    db.create_relation(
+        "r2",
+        [("a", "int"), ("c", "int")],
+        rows=[(i % 13, i) for i in range(3_000)],
+    )
+    return db
+
+
+QUERIES = [
+    (rel("r1").where(cmp("a", "<", 10)), 4.0),
+    (rel("r1").where(cmp("a", "<", 10)).where(cmp("id", ">", 100)), 4.0),
+    (join(rel("r1"), rel("r2"), on=["a"]), 900.0),
+]
+
+
+def run_signature(db: Database, expr, quota: float, seed: int, **options):
+    """Everything observable about a run, traces included."""
+    sink = RecordingSink()
+    result = db.estimate(
+        expr, quota=quota, seed=seed, options=QueryOptions(sink=sink, **options)
+    )
+    report = result.report
+    return (
+        None if report.estimate is None else (
+            report.estimate.value,
+            report.estimate.variance,
+            report.estimate.sample_points,
+        ),
+        [
+            (s.index, s.fraction, s.duration, s.blocks_read, s.new_points)
+            for s in report.stages
+        ],
+        report.termination,
+        sum(s.duration for s in report.stages),
+        [e.to_dict() for e in sink],
+    )
+
+
+@pytest.mark.parametrize("vectorized", [False, True], ids=["python", "vectorized"])
+@pytest.mark.parametrize("expr,quota", QUERIES, ids=["select", "conjunct", "join"])
+class TestOnOffIdentity:
+    def test_pool_on_equals_pool_off(self, vectorized, expr, quota):
+        off = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=False,
+        )
+        clear_plan_cache()
+        on = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=BufferPool(),
+        )
+        assert on == off
+
+    def test_warm_pool_equals_cold_pool(self, vectorized, expr, quota):
+        """A pool full of this very query's blocks changes nothing."""
+        db = make_db()
+        pool = BufferPool()
+        opts = dict(vectorized=vectorized, bufferpool=pool)
+        cold = run_signature(db, expr, quota, seed=5, **opts)
+        assert pool.info().misses > 0  # the run really went through it
+        clear_plan_cache()
+        warm = run_signature(db, expr, quota, seed=5, **opts)
+        assert pool.info().hits > 0  # ... and the replay really hit
+        assert warm == cold
+
+
+class TestSharedPoolStress:
+    """The session-stress mix over one shared pool = pool off, bit for bit."""
+
+    SESSIONS = 50
+
+    @staticmethod
+    def _spec(i: int) -> dict:
+        from repro.estimation.aggregates import sum_of
+        from repro.relational.expression import intersect, select
+
+        kind = i % 4
+        if kind == 0:
+            expr, aggregate = select(rel("r1"), cmp("a", "<", 100 + 20 * i)), None
+        elif kind == 1:
+            expr, aggregate = select(rel("r2"), cmp("a", ">", 10 * i)), None
+        elif kind == 2:
+            expr, aggregate = rel("r1"), sum_of("b")
+        else:
+            expr, aggregate = intersect(rel("r1"), rel("r2")), None
+        return {
+            "expr": expr,
+            "quota": 0.5 + (i % 5) * 0.5,
+            "seed": 1_000 + i,
+            "aggregate": aggregate,
+        }
+
+    @staticmethod
+    def _signature(result) -> tuple:
+        report = result.report
+        estimate = report.estimate
+        return (
+            None if estimate is None else estimate.value,
+            None if estimate is None else estimate.variance,
+            report.termination,
+            len(report.stages),
+            report.total_blocks,
+            tuple((s.fraction, s.duration, s.blocks_read) for s in report.stages),
+        )
+
+    def test_interleaved_shared_pool_matches_pool_off(self):
+        db_off = demo_database(seed=29, tuples=1_200, analyze=False)
+        baseline = {}
+        for i in range(self.SESSIONS):
+            session = db_off.open_session(bufferpool=False, **self._spec(i))
+            baseline[i] = self._signature(session.run())
+
+        db_on = demo_database(seed=29, tuples=1_200, analyze=False)
+        pool = BufferPool()
+        sessions = {
+            i: db_on.open_session(bufferpool=pool, **self._spec(i))
+            for i in range(self.SESSIONS)
+        }
+        order = list(range(self.SESSIONS))
+        random.Random(7).shuffle(order)
+        interleaved = {i: self._signature(sessions[i].run()) for i in order}
+        assert interleaved == baseline
+        info = pool.info()
+        assert info.hits > 0  # the sessions really shared blocks
+
+
+class TestFaults:
+    def test_faulted_read_is_never_admitted(self, int_schema):
+        heap = make_relation("r1", int_schema, [(i, 0) for i in range(25)])
+        pool = BufferPool(capacity=8)
+        charger = CostCharger(MachineProfile.uniform(0.0))
+        import numpy as np
+
+        injector = FaultInjector(
+            FaultPlan(read_error_prob=1.0), np.random.default_rng(3)
+        )
+        with pytest.raises(InjectedFault):
+            heap.read_blocks([0, 1], charger, injector, pool)
+        assert pool.info().currsize == 0  # nothing poisoned the cache
+        assert pool.info().misses == 0
+
+    def test_partial_batch_admits_only_preceding_blocks(self, int_schema):
+        heap = make_relation("r1", int_schema, [(i, 0) for i in range(25)])
+        pool = BufferPool(capacity=8)
+        charger = CostCharger(MachineProfile.uniform(0.0))
+        import numpy as np
+
+        # max_injections=1 with p=1: the very first block read faults,
+        # later reads pass — so a retry-style second call admits cleanly.
+        injector = FaultInjector(
+            FaultPlan(read_error_prob=1.0, max_injections=1),
+            np.random.default_rng(3),
+        )
+        with pytest.raises(InjectedFault):
+            heap.read_blocks([0, 1], charger, injector, pool)
+        assert pool.info().currsize == 0
+        rows = heap.read_blocks([0, 1], charger, injector, pool)
+        assert len(rows) == 10
+        assert pool.info().currsize == 2
+
+    @pytest.mark.parametrize(
+        "vectorized", [False, True], ids=["python", "vectorized"]
+    )
+    def test_chaos_replay_identical_pool_on_and_off(self, vectorized):
+        plan = FaultPlan(
+            read_error_prob=0.03,
+            slow_read_prob=0.05,
+            stage_overrun_prob=0.20,
+            stage_overrun_seconds=0.02,
+            seed_salt=7,
+        )
+        expr, quota = QUERIES[0]
+        off = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=False, fault_plan=plan,
+        )
+        clear_plan_cache()
+        on = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=BufferPool(), fault_plan=plan,
+        )
+        assert on == off
