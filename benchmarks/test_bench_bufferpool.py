@@ -35,7 +35,8 @@ from repro.server.admission import DegradeInfeasible
 from repro.server.request import QueryRequest
 from repro.server.scheduler import QueryServer
 from repro.server.workload import demo_database
-from repro.storage.bufferpool import BufferPool, clear_bufferpool_cache
+from repro import caches
+from repro.storage.bufferpool import BufferPool
 from repro.storage.heapfile import HeapFile
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.profile import MachineProfile
@@ -119,7 +120,7 @@ def test_warm_pool_decode_path_speedup_and_server_sharing():
         cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
     )
 
-    clear_bufferpool_cache()
+    caches.get("bufferpool").clear()
     db = demo_database(seed=SEED, tuples=SERVER_TUPLES)
     server = QueryServer(db, policy=DegradeInfeasible(), bufferpool=True)
     outcomes = server.process(server_workload())

@@ -23,7 +23,7 @@ import pathlib
 
 from repro.core.database import Database
 from repro.core.options import QueryOptions
-from repro.planner import clear_plan_cache
+from repro import caches
 from repro.relational import cmp, rel
 from repro.server import synopsis_degraded_estimate
 from repro.timecontrol import ErrorConstrained
@@ -60,7 +60,7 @@ def workload():
 
 
 def run_arm(synopses: bool) -> dict:
-    clear_plan_cache()
+    caches.get("plans").clear()
     db = make_db()
     options = QueryOptions(
         stopping=ErrorConstrained(

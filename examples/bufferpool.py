@@ -8,7 +8,7 @@ This example walks the contract end to end:
    estimate, stage schedule, and charged simulated time are **bit-equal**
    (the pool is invisible to the paper's controller);
 2. a repeat query over the same relation hits blocks the first one
-   admitted — ``bufferpool_cache_info()`` shows the decode-once sharing;
+   admitted — ``caches.get("bufferpool").info()`` shows the decode-once sharing;
 3. a server stream shares blocks *across requests*, surfacing hit/miss
    counters in ``ServerMetrics``;
 4. appending rows evicts the relation's entries from every live pool, so
@@ -23,8 +23,7 @@ from repro import (
     BufferPool,
     Database,
     QueryOptions,
-    bufferpool_cache_info,
-    clear_bufferpool_cache,
+    caches,
     cmp,
     rel,
 )
@@ -51,7 +50,7 @@ def signature(result) -> tuple:
 
 
 def main() -> None:
-    clear_bufferpool_cache()
+    caches.get("bufferpool").clear()
     panel = rel("orders").where(cmp("qty", "<", 10))
 
     # -- 1. the pool never changes what the controller sees -----------
@@ -68,16 +67,16 @@ def main() -> None:
     # -- 2. a replayed query shares the first run's decoded blocks ----
     db = build_database()
     db.estimate(panel, quota=20.0, seed=2, options=QueryOptions(bufferpool=True))
-    cold = bufferpool_cache_info()
+    cold = caches.get("bufferpool").info()
     db.estimate(panel, quota=20.0, seed=2, options=QueryOptions(bufferpool=True))
-    warm = bufferpool_cache_info()
+    warm = caches.get("bufferpool").info()
     print(
         f"second query   : {warm.hits - cold.hits} block hits, "
         f"{warm.currsize} blocks resident"
     )
 
     # -- 3. a server shares blocks across the request stream ----------
-    clear_bufferpool_cache()
+    caches.get("bufferpool").clear()
     server = QueryServer(
         build_database(), policy=DegradeInfeasible(), bufferpool=True
     )
@@ -91,9 +90,9 @@ def main() -> None:
     )
 
     # -- 4. a write evicts the relation everywhere --------------------
-    resident = bufferpool_cache_info().currsize
+    resident = caches.get("bufferpool").info().currsize
     server.database.append_rows("orders", [(10**6, 5)])
-    after = bufferpool_cache_info()
+    after = caches.get("bufferpool").info()
     print(
         f"append_rows    : {resident} resident -> {after.currsize} "
         f"({after.invalidations} entries invalidated)"

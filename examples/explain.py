@@ -21,9 +21,9 @@ from repro import (
     Database,
     MachineProfile,
     QueryOptions,
+    caches,
     cmp,
     join,
-    plan_cache_info,
     rel,
     select,
 )
@@ -77,7 +77,7 @@ def main() -> None:
 
     # Logical plans are cached process-wide by canonical identity, so the
     # repeated estimates above planned the query once.
-    info = plan_cache_info()
+    info = caches.get("plans").info()
     print(
         f"\nplan cache: {info.hits} hits, {info.misses} misses, "
         f"{info.currsize} entries"

@@ -20,6 +20,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every reproduced table.
 """
 
+from repro import caches
 from repro.catalog import Attribute, AttributeType, Catalog, Schema
 from repro.core import (
     DEFAULT_OPTIONS,
@@ -93,7 +94,19 @@ from repro.storage.bufferpool import (
     default_pool,
     invalidate_bufferpool_relation,
 )
-from repro.storage.events import BufferEvicted, BufferHit, BufferInvalidated
+from repro.storage.events import (
+    BufferEvicted,
+    BufferHit,
+    BufferInvalidated,
+    ShardMerged,
+    ShardScanStarted,
+)
+from repro.storage.partitioned import (
+    HeapShard,
+    PartitionedHeapFile,
+    ShardCacheInfo,
+    invalidate_shard_cache_relation,
+)
 from repro.synopses import (
     SynopsisBinder,
     SynopsisCatalog,
@@ -149,11 +162,13 @@ __all__ = [
     "FaultSalvaged",
     "FixedFractionHeuristic",
     "HardDeadline",
+    "HeapShard",
     "InjectedFault",
     "JsonlSink",
     "KernelCacheInfo",
     "NullSink",
     "OneAtATimeInterval",
+    "PartitionedHeapFile",
     "PlanExplanation",
     "PooledBatch",
     "QueryOptions",
@@ -162,6 +177,9 @@ __all__ = [
     "RecordingSink",
     "RuleApplication",
     "RunReport",
+    "ShardCacheInfo",
+    "ShardMerged",
+    "ShardScanStarted",
     "TeeSink",
     "TraceEvent",
     "TraceSink",
@@ -191,6 +209,7 @@ __all__ = [
     "attr",
     "avg_of",
     "bufferpool_cache_info",
+    "caches",
     "clear_bufferpool_cache",
     "clear_kernel_cache",
     "clear_plan_cache",
@@ -202,6 +221,7 @@ __all__ = [
     "expand_count",
     "intersect",
     "invalidate_bufferpool_relation",
+    "invalidate_shard_cache_relation",
     "join",
     "kernel_cache_info",
     "optimizer_enabled",

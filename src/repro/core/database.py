@@ -122,11 +122,36 @@ class Database:
         schema: Schema | Sequence[tuple[str, str]],
         rows: Iterable[Sequence],
         block_size: int | None = None,
+        partitions: int | None = None,
+        partition_strategy: str = "round_robin",
     ) -> HeapFile:
-        """Create and bulk-load a stored relation."""
-        heap = HeapFile(
-            name, _resolve_schema(schema), block_size or self.block_size
-        )
+        """Create and bulk-load a stored relation.
+
+        ``partitions=K`` (K >= 1) stores the relation as a
+        :class:`~repro.storage.partitioned.PartitionedHeapFile` split into
+        K deterministic shards (``partition_strategy`` is ``"round_robin"``
+        or ``"hash"``). Partitioning happens at block granularity, so the
+        global block layout — and therefore every sample, estimate, and
+        charged cost — is bit-identical to the unpartitioned relation
+        (invariant 10); shards only unlock the parallel read path
+        (``QueryOptions(partitions=N)``).
+        """
+        if partitions is not None and partitions >= 1:
+            from repro.storage.partitioned import PartitionedHeapFile
+
+            heap: HeapFile = PartitionedHeapFile(
+                name,
+                _resolve_schema(schema),
+                block_size or self.block_size,
+                partitions=partitions,
+                strategy=partition_strategy,
+            )
+        elif partitions is not None:
+            raise ReproError(f"partitions must be >= 1: {partitions}")
+        else:
+            heap = HeapFile(
+                name, _resolve_schema(schema), block_size or self.block_size
+            )
         heap.load(rows)
         self.catalog.register(name, heap)
         return heap
@@ -155,20 +180,23 @@ class Database:
     def _on_relation_mutated(self, name: str) -> None:
         """Committed mutation of ``name``: drop every derived artifact.
 
-        One breath evicts all four derived layers: plan-cache entries
+        One breath evicts every derived layer: plan-cache entries
         fingerprinted over the relation, its prestored statistics, the
-        synopsis catalog's entries, and every buffer pool's cached blocks
-        (:mod:`repro.storage.bufferpool` broadcasts across live pools).
+        synopsis catalog's entries, every buffer pool's cached blocks
+        (:mod:`repro.storage.bufferpool` broadcasts across live pools),
+        and the shard-metadata cache's assignments for the relation.
         Realtime :class:`~repro.realtime.transaction.WriteTask` commits
         land here too, via :meth:`append_rows`.
         """
         from repro.planner.cache import invalidate_plan_cache_relation
         from repro.storage.bufferpool import invalidate_bufferpool_relation
+        from repro.storage.partitioned import invalidate_shard_cache_relation
 
         invalidate_plan_cache_relation(name)
         self.statistics.pop(name, None)
         self.synopses.invalidate_relation(name)
         invalidate_bufferpool_relation(name)
+        invalidate_shard_cache_relation(name)
 
     def relation(self, name: str) -> HeapFile:
         return self.catalog.get(name)
@@ -398,6 +426,7 @@ class Database:
             optimize=opts.optimize,
             binder=binder,
             bufferpool=bufferpool,
+            partitions=opts.partitions,
         )
 
     def explain(

@@ -42,7 +42,7 @@ from repro.relational.expression import (
     RelationRef,
     Select,
 )
-from repro.sampling.sampler import BlockSampler
+from repro.sampling.sampler import BlockSampler, shard_seed
 from repro.storage.spool import Spool
 from repro.timekeeping.charger import CostCharger
 
@@ -78,6 +78,7 @@ class PhysicalPlanBuilder:
         pin_selectivities: bool = False,
         binder: "SynopsisBinder | None" = None,
         bufferpool: "BufferPool | None" = None,
+        partitions: tuple[bool, int] | None = None,
     ) -> None:
         self.catalog = catalog
         self.charger = charger
@@ -88,6 +89,7 @@ class PhysicalPlanBuilder:
         self.vectorized = vectorized
         self.injector = injector
         self.bufferpool = bufferpool
+        self.partitions = partitions if partitions is not None else (False, 1)
         self._hint_provider = hint_provider
         self._pin_selectivities = pin_selectivities
         self._binder = binder
@@ -151,10 +153,22 @@ class PhysicalPlanBuilder:
         if isinstance(expr, RelationRef):
             if expr.name not in self._scans:
                 relation = self.catalog.get(expr.name)
+                shards = getattr(relation, "shards", ())
+                # Per-shard seeds derive from the session RNG's seed
+                # material without consuming the stream: the sampler's
+                # global permutation below draws identically with
+                # partitions on or off (invariant 10).
+                seeds = (
+                    tuple(shard_seed(self.rng, i) for i in range(len(shards)))
+                    if self.partitions[0] and shards
+                    else ()
+                )
                 self._scans[expr.name] = StagedScan(
                     relation,
                     BlockSampler(relation, self.rng),
                     bufferpool=self.bufferpool,
+                    partitions=self.partitions,
+                    shard_seeds=seeds,
                     **self._common_kwargs(),
                 )
             return self._scans[expr.name]

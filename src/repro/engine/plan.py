@@ -64,6 +64,7 @@ from repro.observability.trace import (
 from repro.relational.expression import Expression
 from repro.relational.inclusion_exclusion import expand_count
 from repro.sampling.point_space import PointSpace
+from repro.storage.events import ShardMerged, ShardScanStarted
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE
 from repro.timekeeping.charger import CostCharger
 
@@ -171,6 +172,7 @@ class StagedPlan:
         optimize: bool = False,
         binder: "SynopsisBinder | None" = None,
         bufferpool: "BufferPool | None" = None,
+        partitions: tuple[bool, int] | None = None,
     ) -> None:
         self.expr = expr
         self.bufferpool = bufferpool
@@ -241,6 +243,7 @@ class StagedPlan:
             pin_selectivities=pin_selectivities,
             binder=binder,
             bufferpool=bufferpool,
+            partitions=partitions,
         )
         self.binder = binder
         self.spool = self._builder.spool
@@ -341,6 +344,36 @@ class StagedPlan:
             scan_blocks_before = scan.blocks_drawn
             scan.advance(stage, fraction)
             if trace:
+                # Shard events precede the merged ScanAdvance, mirroring
+                # execution: shards read, then merge in global draw order.
+                # They appear only on the sharded path — invariant 10 pins
+                # estimates/costs/schedules, not traces, partitions on/off.
+                if scan.sharded and scan.last_shard_stats:
+                    for shard_stat in scan.last_shard_stats:
+                        seed = (
+                            scan.shard_seeds[shard_stat.shard]
+                            if shard_stat.shard < len(scan.shard_seeds)
+                            else 0
+                        )
+                        self.sink.emit(
+                            ShardScanStarted(
+                                relation=scan.relation.name,
+                                shard=shard_stat.shard,
+                                stage=stage,
+                                blocks=shard_stat.blocks,
+                                tuples=shard_stat.tuples,
+                                seed=seed,
+                            )
+                        )
+                    self.sink.emit(
+                        ShardMerged(
+                            relation=scan.relation.name,
+                            stage=stage,
+                            shards=len(scan.last_shard_stats),
+                            blocks=scan.blocks_drawn - scan_blocks_before,
+                            tuples=scan.new_tuples,
+                        )
+                    )
                 self.sink.emit(
                     ScanAdvance(
                         stage=stage,

@@ -13,6 +13,7 @@ the cache is an optimization, never a requirement.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
@@ -72,7 +73,7 @@ class KernelCacheInfo:
     currsize: int
 
 
-def kernel_cache_info() -> KernelCacheInfo:
+def _kernel_cache_info() -> KernelCacheInfo:
     """Summed hit/miss/size counters of the predicate and sort-key LRUs."""
     predicate = _cached_compile.cache_info()
     sort_key = cached_sort_key.cache_info()
@@ -84,7 +85,29 @@ def kernel_cache_info() -> KernelCacheInfo:
     )
 
 
-def clear_kernel_cache() -> None:
+def _clear_kernel_cache() -> None:
     """Drop both compile LRUs and reset their counters (tests)."""
     _cached_compile.cache_clear()
     cached_sort_key.cache_clear()
+
+
+def kernel_cache_info() -> KernelCacheInfo:
+    """Deprecated: use ``repro.caches.get("kernels").info()``."""
+    warnings.warn(
+        "kernel_cache_info() is deprecated; use "
+        "repro.caches.get('kernels').info() or repro.caches.info()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _kernel_cache_info()
+
+
+def clear_kernel_cache() -> None:
+    """Deprecated: use ``repro.caches.get("kernels").clear()``."""
+    warnings.warn(
+        "clear_kernel_cache() is deprecated; use "
+        "repro.caches.get('kernels').clear() or repro.caches.clear()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _clear_kernel_cache()

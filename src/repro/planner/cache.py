@@ -20,6 +20,7 @@ stale decision. Hint-dependent planning never touches the cache at all
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -79,7 +80,7 @@ def store(key: CacheKey, value: CacheValue) -> None:
             _cache.popitem(last=False)
 
 
-def plan_cache_info() -> PlanCacheInfo:
+def _plan_cache_info() -> PlanCacheInfo:
     """Current hit/miss/size counters of the process-wide plan cache."""
     with _lock:
         return PlanCacheInfo(
@@ -88,6 +89,17 @@ def plan_cache_info() -> PlanCacheInfo:
             maxsize=PLAN_CACHE_MAXSIZE,
             currsize=len(_cache),
         )
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Deprecated: use ``repro.caches.get("plans").info()``."""
+    warnings.warn(
+        "plan_cache_info() is deprecated; use "
+        "repro.caches.get('plans').info() or repro.caches.info()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _plan_cache_info()
 
 
 def invalidate_plan_cache_relation(name: str) -> int:
@@ -114,10 +126,21 @@ def invalidate_plan_cache_relation(name: str) -> int:
     return evicted
 
 
-def clear_plan_cache() -> None:
+def _clear_plan_cache() -> None:
     """Drop all entries and reset counters (tests; catalog reloads)."""
     global _hits, _misses
     with _lock:
         _cache.clear()
         _hits = 0
         _misses = 0
+
+
+def clear_plan_cache() -> None:
+    """Deprecated: use ``repro.caches.get("plans").clear()``."""
+    warnings.warn(
+        "clear_plan_cache() is deprecated; use "
+        "repro.caches.get('plans').clear() or repro.caches.clear()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _clear_plan_cache()

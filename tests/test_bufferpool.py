@@ -15,11 +15,8 @@ import json
 import numpy as np
 import pytest
 
-from repro.kernels import (
-    KernelCacheInfo,
-    clear_kernel_cache,
-    kernel_cache_info,
-)
+from repro import caches
+from repro.kernels import KernelCacheInfo
 from repro.kernels.columns import ColumnBatch
 from repro.observability import RecordingSink
 from repro.observability.trace import event_from_dict
@@ -27,8 +24,6 @@ from repro.storage.bufferpool import (
     BufferPool,
     BufferPoolInfo,
     PooledBatch,
-    bufferpool_cache_info,
-    clear_bufferpool_cache,
     default_pool,
     invalidate_bufferpool_relation,
 )
@@ -154,7 +149,7 @@ class TestInvalidation:
         assert pool.invalidate_relation("r1") == 0
 
     def test_broadcast_reaches_every_live_pool(self, heap, free_charger):
-        clear_bufferpool_cache()
+        caches.get("bufferpool").clear()
         custom = BufferPool(capacity=8)
         read(custom, heap, [0], free_charger)
         read(default_pool(), heap, [1], free_charger)
@@ -219,13 +214,13 @@ class TestEvents:
 
 class TestUnifiedCacheSurface:
     def test_bufferpool_cache_info_tracks_default_pool(self, heap, free_charger):
-        clear_bufferpool_cache()
+        caches.get("bufferpool").clear()
         read(default_pool(), heap, [0, 0], free_charger)
-        info = bufferpool_cache_info()
+        info = caches.get("bufferpool").info()
         assert isinstance(info, BufferPoolInfo)
         assert (info.hits, info.misses) == (1, 1)
-        clear_bufferpool_cache()
-        assert bufferpool_cache_info().currsize == 0
+        caches.get("bufferpool").clear()
+        assert caches.get("bufferpool").info().currsize == 0
 
     def test_kernel_cache_info_counts_compiles(self):
         from repro.catalog.schema import Schema
@@ -233,16 +228,16 @@ class TestUnifiedCacheSurface:
         from repro.kernels.cache import compiled_predicate
         from repro.relational.predicate import cmp
 
-        clear_kernel_cache()
+        caches.get("kernels").clear()
         schema = Schema.of(id=AttributeType.INT, a=AttributeType.INT)
         first = compiled_predicate(cmp("a", "<", 5), schema)
         again = compiled_predicate(cmp("a", "<", 5), schema)
         assert again is first
-        info = kernel_cache_info()
+        info = caches.get("kernels").info()
         assert isinstance(info, KernelCacheInfo)
         assert info.hits >= 1 and info.misses >= 1 and info.currsize >= 1
-        clear_kernel_cache()
-        assert kernel_cache_info().currsize == 0
+        caches.get("kernels").clear()
+        assert caches.get("kernels").info().currsize == 0
 
     def test_all_three_caches_exported_from_package_root(self):
         import repro

@@ -21,10 +21,10 @@ from repro.errors import InjectedFault
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.observability import RecordingSink
-from repro.planner import clear_plan_cache
+from repro import caches
 from repro.relational import cmp, join, rel
 from repro.server.workload import demo_database
-from repro.storage.bufferpool import BufferPool, clear_bufferpool_cache
+from repro.storage.bufferpool import BufferPool
 from repro.timekeeping.charger import CostCharger
 from repro.timekeeping.profile import MachineProfile
 from tests.conftest import make_relation
@@ -32,11 +32,11 @@ from tests.conftest import make_relation
 
 @pytest.fixture(autouse=True)
 def fresh_caches():
-    clear_plan_cache()
-    clear_bufferpool_cache()
+    caches.get("plans").clear()
+    caches.get("bufferpool").clear()
     yield
-    clear_plan_cache()
-    clear_bufferpool_cache()
+    caches.get("plans").clear()
+    caches.get("bufferpool").clear()
 
 
 def make_db(seed: int = 11) -> Database:
@@ -92,7 +92,7 @@ class TestOnOffIdentity:
             make_db(), expr, quota, seed=5,
             vectorized=vectorized, bufferpool=False,
         )
-        clear_plan_cache()
+        caches.get("plans").clear()
         on = run_signature(
             make_db(), expr, quota, seed=5,
             vectorized=vectorized, bufferpool=BufferPool(),
@@ -106,7 +106,7 @@ class TestOnOffIdentity:
         opts = dict(vectorized=vectorized, bufferpool=pool)
         cold = run_signature(db, expr, quota, seed=5, **opts)
         assert pool.info().misses > 0  # the run really went through it
-        clear_plan_cache()
+        caches.get("plans").clear()
         warm = run_signature(db, expr, quota, seed=5, **opts)
         assert pool.info().hits > 0  # ... and the replay really hit
         assert warm == cold
@@ -222,7 +222,7 @@ class TestFaults:
             make_db(), expr, quota, seed=5,
             vectorized=vectorized, bufferpool=False, fault_plan=plan,
         )
-        clear_plan_cache()
+        caches.get("plans").clear()
         on = run_signature(
             make_db(), expr, quota, seed=5,
             vectorized=vectorized, bufferpool=BufferPool(), fault_plan=plan,

@@ -15,24 +15,19 @@ import pytest
 
 from repro.core.database import Database
 from repro.core.options import QueryOptions
-from repro.planner import clear_plan_cache, plan_cache_info
+from repro import caches
 from repro.realtime import QueryTask, TransactionScheduler, WriteTask
 from repro.relational import cmp, rel
-from repro.storage.bufferpool import (
-    BufferPool,
-    bufferpool_cache_info,
-    clear_bufferpool_cache,
-    default_pool,
-)
+from repro.storage.bufferpool import BufferPool, default_pool
 
 
 @pytest.fixture(autouse=True)
 def fresh_caches():
-    clear_plan_cache()
-    clear_bufferpool_cache()
+    caches.get("plans").clear()
+    caches.get("bufferpool").clear()
     yield
-    clear_plan_cache()
-    clear_bufferpool_cache()
+    caches.get("plans").clear()
+    caches.get("bufferpool").clear()
 
 
 def make_db() -> Database:
@@ -102,20 +97,20 @@ def test_mutation_evicts_bufferpool_plan_cache_and_synopses(mutate):
         options=QueryOptions(synopses=True, bufferpool=True),
     )
     db.estimate(query(), quota=5.0, seed=4, options=QueryOptions(bufferpool=custom))
-    assert bufferpool_cache_info().currsize > 0
+    assert caches.get("bufferpool").info().currsize > 0
     assert custom.info().currsize > 0
-    assert plan_cache_info().currsize >= 1
+    assert caches.get("plans").info().currsize >= 1
     assert db.synopses.info().answers == 1
 
     mutate(db)
 
     # Buffer pool: every r1 entry gone, in the default and the custom pool.
-    assert bufferpool_cache_info().currsize == 0
+    assert caches.get("bufferpool").info().currsize == 0
     assert custom.info().currsize == 0
-    assert bufferpool_cache_info().invalidations > 0
+    assert caches.get("bufferpool").info().invalidations > 0
     assert custom.info().invalidations > 0
     # Plan cache and synopsis catalog: invalidated in the same breath.
-    assert plan_cache_info().currsize == PLANS_AFTER[mutate]
+    assert caches.get("plans").info().currsize == PLANS_AFTER[mutate]
     info = db.synopses.info()
     assert info.answers == 0 and info.invalidations == 1
 
@@ -132,11 +127,11 @@ def test_unrelated_relation_survives_mutation(mutate):
         rel("r2").where(cmp("a", "<", 5)), quota=5.0, seed=3,
         options=QueryOptions(bufferpool=True),
     )
-    resident_before = bufferpool_cache_info().currsize
+    resident_before = caches.get("bufferpool").info().currsize
     assert resident_before > 0
     mutate(db)
     # r2's blocks are untouched; only r1 state was dropped.
-    assert bufferpool_cache_info().currsize == resident_before
+    assert caches.get("bufferpool").info().currsize == resident_before
 
 
 def test_post_mutation_reads_see_new_contents():

@@ -1,0 +1,126 @@
+"""The unified cache registry — ``repro.caches`` — and the legacy names.
+
+One management surface for all four process-wide caches (kernels, plans,
+bufferpool, shards): named handles with ``info()``/``clear()``, whole-
+registry ``caches.info()``/``caches.clear()``, and the six pre-existing
+module-level helpers demoted to ``DeprecationWarning``-emitting delegates
+that still work. The suite's CI runs a ``-W error::DeprecationWarning``
+leg, so everything internal goes through the registry; these tests are the
+one sanctioned place the old names are still called.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import caches
+from repro.core.database import Database
+from repro.errors import ReproError
+from repro.relational.expression import rel
+from repro.relational.predicate import cmp
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    caches.clear()
+    yield
+    caches.clear()
+
+
+def populate_all_caches():
+    """One estimate that touches kernels, plans, bufferpool, and shards."""
+    db = Database(seed=17)
+    db.create_relation(
+        "r1",
+        [("id", "int"), ("a", "int")],
+        rows=[(i, i % 7) for i in range(3_000)],
+        partitions=2,
+    )
+    db.estimate(
+        rel("r1").where(cmp("a", "<", 3)), quota=4.0, seed=1,
+        vectorized=True, bufferpool=True, partitions=1,
+    )
+
+
+class TestRegistry:
+    def test_names_cover_all_four_caches(self):
+        assert caches.names() == ("kernels", "plans", "bufferpool", "shards")
+
+    def test_get_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown cache"):
+            caches.get("plans_cache")
+
+    def test_handles_carry_descriptions(self):
+        for handle in caches.handles():
+            assert handle.description
+            assert caches.get(handle.name) is handle
+
+    def test_info_returns_counters_for_every_cache(self):
+        populate_all_caches()
+        info = caches.info()
+        assert set(info) == set(caches.names())
+        for counters in info.values():
+            for field in ("hits", "misses", "maxsize", "currsize"):
+                assert getattr(counters, field) >= 0
+        assert info["plans"].currsize >= 1
+        assert info["shards"].currsize >= 1
+        assert info["kernels"].currsize >= 1
+
+    def test_clear_one_cache_leaves_the_rest(self):
+        populate_all_caches()
+        assert caches.get("plans").info().currsize >= 1
+        shards_before = caches.get("shards").info().currsize
+        caches.clear("plans")
+        assert caches.get("plans").info().currsize == 0
+        assert caches.get("shards").info().currsize == shards_before
+
+    def test_clear_all(self):
+        populate_all_caches()
+        caches.clear()
+        for name, counters in caches.info().items():
+            assert counters.currsize == 0, name
+            assert counters.hits == 0, name
+
+
+LEGACY = [
+    ("kernels", "kernel_cache_info", "clear_kernel_cache"),
+    ("plans", "plan_cache_info", "clear_plan_cache"),
+    ("bufferpool", "bufferpool_cache_info", "clear_bufferpool_cache"),
+]
+
+
+class TestLegacyNames:
+    @pytest.mark.parametrize("cache,info_name,clear_name", LEGACY)
+    def test_old_info_warns_and_matches_registry(
+        self, cache, info_name, clear_name
+    ):
+        populate_all_caches()
+        with pytest.warns(DeprecationWarning, match=f"{info_name}.*repro.caches"):
+            legacy = getattr(repro, info_name)()
+        assert legacy == caches.get(cache).info()
+
+    @pytest.mark.parametrize("cache,info_name,clear_name", LEGACY)
+    def test_old_clear_warns_and_clears(self, cache, info_name, clear_name):
+        populate_all_caches()
+        with pytest.warns(DeprecationWarning, match=f"{clear_name}.*repro.caches"):
+            getattr(repro, clear_name)()
+        assert caches.get(cache).info().currsize == 0
+
+    def test_all_six_still_exported_from_repro(self):
+        for _, info_name, clear_name in LEGACY:
+            assert callable(getattr(repro, info_name))
+            assert callable(getattr(repro, clear_name))
+
+    def test_relation_invalidation_hooks_do_not_warn(self, recwarn):
+        """Mutation plumbing is not deprecated — only the management names."""
+        from repro.planner.cache import invalidate_plan_cache_relation
+        from repro.storage.bufferpool import invalidate_bufferpool_relation
+        from repro.storage.partitioned import invalidate_shard_cache_relation
+
+        invalidate_plan_cache_relation("nope")
+        invalidate_bufferpool_relation("nope")
+        invalidate_shard_cache_relation("nope")
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

@@ -22,7 +22,7 @@ import pytest
 
 from repro.core.database import Database
 from repro.core.options import QueryOptions
-from repro.planner import clear_plan_cache
+from repro import caches
 from repro.relational import cmp, rel
 from repro.server import minimum_stage_cost
 from repro.statistics.histogram import EquiDepthHistogram
@@ -30,9 +30,9 @@ from repro.statistics.histogram import EquiDepthHistogram
 
 @pytest.fixture(autouse=True)
 def fresh_plan_cache():
-    clear_plan_cache()
+    caches.get("plans").clear()
     yield
-    clear_plan_cache()
+    caches.get("plans").clear()
 
 
 def make_db(seed: int = 5, rows: int = 20_000) -> Database:
@@ -156,5 +156,5 @@ class TestPricingPrecedence:
             seed=3,
             options=QueryOptions(synopses=True),
         )
-        clear_plan_cache()
+        caches.get("plans").clear()
         assert minimum_stage_cost(probe(db, selective_query())) == baseline

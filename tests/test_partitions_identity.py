@@ -1,0 +1,198 @@
+"""Invariant 10 — partitioned execution is bit-identical to unsharded.
+
+The contract (``docs/architecture.md``): for the same seed, partitions
+on/off — and any shard worker count — produce bit-identical estimates,
+charged costs, and stage schedules. Partitioning is a *block-granularity*
+overlay: global block ids, contents, and the sampler's global permutation
+are untouched, so the only permitted trace difference is the presence of
+``shard_scan_started``/``shard_merged`` events (which the sharded path
+emits and the global path cannot). That is deliberately *weaker* than the
+buffer pool's invariant 9, which pins traces verbatim.
+
+The battery mirrors ``test_bufferpool_identity.py``: on/off across both
+kernel paths × pool on/off × three query shapes, a 50-session stress mix
+over one shared partitioned relation, and fault-replay identity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import caches
+from repro.core.database import Database
+from repro.core.options import QueryOptions
+from repro.faults.plan import FaultPlan
+from repro.observability import RecordingSink
+from repro.relational.expression import join, rel
+from repro.relational.predicate import cmp
+from repro.storage.bufferpool import BufferPool
+
+SHARD_KINDS = ("shard_scan_started", "shard_merged")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    for name in ("plans", "bufferpool", "shards"):
+        caches.get(name).clear()
+    yield
+    for name in ("plans", "bufferpool", "shards"):
+        caches.get(name).clear()
+
+
+def make_db(seed: int = 11, partitions: int | None = 4) -> Database:
+    db = Database(seed=seed)
+    db.create_relation(
+        "r1",
+        [("id", "int"), ("a", "int")],
+        rows=[(i, i % 97) for i in range(12_000)],
+        partitions=partitions,
+    )
+    db.create_relation(
+        "r2",
+        [("a", "int"), ("c", "int")],
+        rows=[(i % 13, i) for i in range(3_000)],
+        partitions=partitions,
+        partition_strategy="hash",
+    )
+    return db
+
+
+QUERIES = [
+    (rel("r1").where(cmp("a", "<", 10)), 4.0),
+    (rel("r1").where(cmp("a", "<", 10)).where(cmp("id", ">", 100)), 4.0),
+    (join(rel("r1"), rel("r2"), on=["a"]), 900.0),
+]
+
+
+def run_signature(db: Database, expr, quota: float, seed: int, **options):
+    """Everything invariant 10 pins, plus traces minus shard events."""
+    sink = RecordingSink()
+    result = db.estimate(
+        expr, quota=quota, seed=seed, options=QueryOptions(sink=sink, **options)
+    )
+    report = result.report
+    return (
+        None if report.estimate is None else (
+            report.estimate.value,
+            report.estimate.variance,
+            report.estimate.sample_points,
+        ),
+        [
+            (s.index, s.fraction, s.duration, s.blocks_read, s.new_points)
+            for s in report.stages
+        ],
+        report.termination,
+        sum(s.duration for s in report.stages),
+        [e.to_dict() for e in sink if e.kind not in SHARD_KINDS],
+    )
+
+
+@pytest.mark.parametrize("vectorized", [False, True], ids=["python", "vectorized"])
+@pytest.mark.parametrize("expr,quota", QUERIES, ids=["select", "conjunct", "join"])
+class TestOnOffIdentity:
+    def test_partitions_on_equals_off(self, vectorized, expr, quota):
+        off = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=False, partitions=False,
+        )
+        caches.get("plans").clear()
+        on = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=False, partitions=2,
+        )
+        assert on == off
+
+    def test_identity_holds_through_the_pool(self, vectorized, expr, quota):
+        """Sharded pool keys vs global pool keys — same answers either way."""
+        off = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=BufferPool(), partitions=False,
+        )
+        caches.get("plans").clear()
+        on = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=BufferPool(), partitions=2,
+        )
+        assert on == off
+
+    def test_worker_count_is_invisible(self, vectorized, expr, quota):
+        one = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=BufferPool(), partitions=1,
+        )
+        caches.get("plans").clear()
+        four = run_signature(
+            make_db(), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=BufferPool(), partitions=4,
+        )
+        assert four == one
+
+    def test_unpartitioned_relation_ignores_the_switch(self, vectorized, expr, quota):
+        """partitions=N over plain heap files is a no-op, not an error."""
+        plain_off = run_signature(
+            make_db(partitions=None), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=False, partitions=False,
+        )
+        caches.get("plans").clear()
+        plain_on = run_signature(
+            make_db(partitions=None), expr, quota, seed=5,
+            vectorized=vectorized, bufferpool=False, partitions=4,
+        )
+        assert plain_on == plain_off
+
+
+class TestSharedShardStress:
+    """50 interleaved sessions over one partitioned db = unsharded, bit for bit."""
+
+    SESSIONS = 50
+
+    @staticmethod
+    def mix(db: Database, partitions_opt, pool) -> list:
+        signatures = []
+        for i in range(TestSharedShardStress.SESSIONS):
+            expr, quota = QUERIES[i % len(QUERIES)]
+            signatures.append(
+                run_signature(
+                    db, expr, quota, seed=100 + i,
+                    vectorized=bool(i % 2),
+                    bufferpool=pool,
+                    partitions=partitions_opt,
+                )
+            )
+        return signatures
+
+    def test_stress_mix_identical(self):
+        baseline = self.mix(make_db(), False, False)
+        caches.get("plans").clear()
+        sharded = self.mix(make_db(), 4, BufferPool())
+        assert sharded == baseline
+
+
+class TestFaultReplayIdentity:
+    """Seed-replayable faults stay replayable across the sharded path."""
+
+    PLAN = FaultPlan(read_error_prob=0.05, slow_read_prob=0.05, seed_salt=3)
+
+    def run_faulted(self, partitions_opt):
+        db = make_db(seed=21)
+        sink = RecordingSink()
+        result = db.estimate(
+            QUERIES[0][0], quota=QUERIES[0][1], seed=8,
+            options=QueryOptions(
+                sink=sink, fault_plan=self.PLAN, partitions=partitions_opt
+            ),
+        )
+        return (
+            [e.to_dict() for e in sink if e.kind not in SHARD_KINDS],
+            [
+                (f.stage, f.kind, f.relation, f.block_id)
+                for f in result.report.faults
+            ],
+            result.report.termination,
+        )
+
+    def test_fault_stream_identical_on_off(self):
+        off = self.run_faulted(False)
+        caches.get("plans").clear()
+        on = self.run_faulted(2)
+        assert on == off

@@ -5,7 +5,8 @@ import pytest
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Schema
 from repro.catalog.types import AttributeType
-from repro.planner import clear_plan_cache, plan_cache_info, plan_logical
+from repro import caches
+from repro.planner import plan_logical
 from repro.planner.cache import PLAN_CACHE_MAXSIZE, cache_key
 from repro.relational.expression import intersect, join, rel, select
 from repro.relational.predicate import And, cmp
@@ -14,9 +15,9 @@ from tests.conftest import make_relation
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
-    clear_plan_cache()
+    caches.get("plans").clear()
     yield
-    clear_plan_cache()
+    caches.get("plans").clear()
 
 
 def build_catalog(r1_rows: int = 40) -> Catalog:
@@ -44,7 +45,7 @@ def test_repeat_planning_hits_and_returns_equal_outcome():
     assert not first.cache_hit and second.cache_hit
     assert second.expression == first.expression
     assert second.applications == first.applications
-    info = plan_cache_info()
+    info = caches.get("plans").info()
     assert info.hits == 1 and info.misses == 1 and info.currsize == 1
 
 
@@ -79,7 +80,7 @@ def test_hint_provider_bypasses_cache():
     first = plan_logical(pushable(), catalog, hint=hint)
     second = plan_logical(pushable(), catalog, hint=hint)
     assert not first.cache_hit and not second.cache_hit
-    info = plan_cache_info()
+    info = caches.get("plans").info()
     assert info.currsize == 0 and info.hits == 0 and info.misses == 0
 
 
@@ -87,8 +88,8 @@ def test_clear_resets_entries_and_counters():
     catalog = build_catalog()
     plan_logical(pushable(), catalog)
     plan_logical(pushable(), catalog)
-    clear_plan_cache()
-    info = plan_cache_info()
+    caches.get("plans").clear()
+    info = caches.get("plans").info()
     assert info.hits == 0 and info.misses == 0 and info.currsize == 0
     assert not plan_logical(pushable(), catalog).cache_hit
 
@@ -97,7 +98,7 @@ def test_lru_eviction_bounds_size():
     catalog = build_catalog()
     for i in range(PLAN_CACHE_MAXSIZE + 10):
         plan_logical(select(rel("r1"), cmp("a", "<", i)), catalog)
-    info = plan_cache_info()
+    info = caches.get("plans").info()
     assert info.currsize == PLAN_CACHE_MAXSIZE
     # The oldest entry was evicted: replanning it misses.
     assert not plan_logical(

@@ -6,7 +6,8 @@ import pytest
 from repro.core.database import Database
 from repro.core.options import QueryOptions
 from repro.observability import RecordingSink
-from repro.planner import clear_plan_cache, optimizer_enabled
+from repro import caches
+from repro.planner import optimizer_enabled
 from repro.planner.explain import render_tree
 from repro.relational.expression import intersect, join, project, rel, select
 from repro.relational.predicate import cmp
@@ -15,9 +16,9 @@ from repro.server.admission import minimum_stage_cost
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
-    clear_plan_cache()
+    caches.get("plans").clear()
     yield
-    clear_plan_cache()
+    caches.get("plans").clear()
 
 
 def build_db(seed: int = 7) -> Database:

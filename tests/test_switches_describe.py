@@ -1,0 +1,148 @@
+"""The switch registry — ``describe()``, partitions parsing, docs drift.
+
+Every engine switch (optimize / kernels / synopses / bufferpool /
+partitions) resolves through one rule: explicit per-session value beats
+the ``QueryOptions`` bundle, which beats the environment variable, which
+beats the built-in default. :func:`repro.core.switches.describe` reports
+each switch's resolved value *and the winning source*, and
+:func:`switch_table_markdown` renders the precedence table embedded in
+``docs/api.md`` — pinned here so the docs cannot drift from the registry.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.options import QueryOptions
+from repro.core.switches import (
+    SWITCHES,
+    describe,
+    env_partitions,
+    resolve_partitions,
+    switch_table_markdown,
+)
+
+ALL_ENV = [s.env for s in SWITCHES]
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for name in ALL_ENV:
+        monkeypatch.delenv(name, raising=False)
+
+
+def state(states, name):
+    return next(s for s in states if s.name == name)
+
+
+class TestDescribe:
+    def test_covers_every_switch(self):
+        states = describe()
+        assert [s.name for s in states] == [s.name for s in SWITCHES]
+
+    def test_defaults_with_clean_env(self):
+        states = describe()
+        assert all(s.source == "default" for s in states)
+        assert state(states, "optimize").value is True
+        assert state(states, "kernels").value is True
+        assert state(states, "synopses").value is False
+        assert state(states, "bufferpool").value is True
+        assert state(states, "partitions").value == (True, 1)
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        monkeypatch.setenv("REPRO_PARTITIONS", "8")
+        states = describe()
+        kernels = state(states, "kernels")
+        assert (kernels.value, kernels.source) == (False, "env")
+        partitions = state(states, "partitions")
+        assert (partitions.value, partitions.source) == ((True, 8), "env")
+        assert state(states, "optimize").source == "default"
+
+    def test_options_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        monkeypatch.setenv("REPRO_PARTITIONS", "0")
+        states = describe(options=QueryOptions(vectorized=True, partitions=4))
+        kernels = state(states, "kernels")
+        assert (kernels.value, kernels.source) == (True, "options")
+        partitions = state(states, "partitions")
+        assert (partitions.value, partitions.source) == ((True, 4), "options")
+
+    def test_explicit_beats_options(self, monkeypatch):
+        states = describe(
+            options=QueryOptions(vectorized=True, partitions=4),
+            explicit={"vectorized": False, "partitions": 2},
+        )
+        kernels = state(states, "kernels")
+        assert (kernels.value, kernels.source) == (False, "explicit")
+        partitions = state(states, "partitions")
+        assert (partitions.value, partitions.source) == ((True, 2), "explicit")
+
+    def test_enabled_property_reads_both_value_shapes(self):
+        states = describe(explicit={"partitions": 0, "synopses": True})
+        assert state(states, "partitions").enabled is False
+        assert state(states, "synopses").enabled is True
+        assert state(states, "bufferpool").enabled is True
+
+
+class TestPartitionsParsing:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            (None, (True, 1)),
+            ("0", (False, 1)),
+            ("false", (False, 1)),
+            (" OFF ", (False, 1)),
+            ("no", (False, 1)),
+            ("1", (True, 1)),
+            ("6", (True, 6)),
+            ("-2", (False, 1)),
+            ("yes", (True, 1)),
+        ],
+    )
+    def test_env_partitions(self, monkeypatch, raw, expected):
+        if raw is None:
+            monkeypatch.delenv("REPRO_PARTITIONS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_PARTITIONS", raw)
+        assert env_partitions() == expected
+
+    @pytest.mark.parametrize(
+        "explicit,expected",
+        [
+            (True, (True, 1)),
+            (False, (False, 1)),
+            (0, (False, 1)),
+            (1, (True, 1)),
+            (5, (True, 5)),
+        ],
+    )
+    def test_resolve_partitions_explicit(self, explicit, expected):
+        assert resolve_partitions(explicit) == expected
+
+    def test_resolve_partitions_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARTITIONS", "3")
+        assert resolve_partitions(None) == (True, 3)
+
+
+class TestDocsTable:
+    MARKER_BEGIN = "<!-- switches:begin -->"
+    MARKER_END = "<!-- switches:end -->"
+
+    def test_api_docs_table_matches_registry(self):
+        """docs/api.md embeds exactly what switch_table_markdown renders."""
+        api_md = (
+            pathlib.Path(__file__).resolve().parent.parent / "docs" / "api.md"
+        ).read_text()
+        assert self.MARKER_BEGIN in api_md and self.MARKER_END in api_md
+        embedded = api_md.split(self.MARKER_BEGIN, 1)[1].split(
+            self.MARKER_END, 1
+        )[0].strip()
+        assert embedded == switch_table_markdown().strip()
+
+    def test_table_has_one_row_per_switch(self):
+        table = switch_table_markdown()
+        rows = [line for line in table.splitlines() if line.startswith("| ")]
+        assert len(rows) == len(SWITCHES) + 1  # header + switches

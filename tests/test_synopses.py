@@ -9,7 +9,7 @@ from repro.estimation.aggregates import count, sum_of
 from repro.estimation.estimate import Estimate
 from repro.estimation.selectivity import SelectivityTracker
 from repro.observability import RecordingSink
-from repro.planner import clear_plan_cache
+from repro import caches
 from repro.realtime import (
     QueryTask,
     TransactionScheduler,
@@ -35,9 +35,9 @@ from repro.synopses.catalog import MAX_PRIOR_POINTS, MIN_PRIOR_POINTS
 
 @pytest.fixture(autouse=True)
 def fresh_plan_cache():
-    clear_plan_cache()
+    caches.get("plans").clear()
     yield
-    clear_plan_cache()
+    caches.get("plans").clear()
 
 
 def make_db(seed: int = 7, rows: int = 20_000) -> Database:
@@ -328,15 +328,14 @@ class TestMutation:
         assert info.refresh_pending == 1
 
     def test_append_rows_invalidates_plan_cache(self):
-        from repro.planner import plan_cache_info
         from repro.planner.cache import invalidate_plan_cache_relation
 
         db = make_db(rows=1000)
         expr = query()
         db.estimate(expr, quota=5.0, seed=3)
-        assert plan_cache_info().currsize == 1
+        assert caches.get("plans").info().currsize == 1
         db.append_rows("r1", [(10**6, 1)])
-        assert plan_cache_info().currsize == 0
+        assert caches.get("plans").info().currsize == 0
         # And the helper reports how many entries it evicted.
         db.estimate(expr, quota=5.0, seed=3)
         assert invalidate_plan_cache_relation("r1") == 1

@@ -14,15 +14,15 @@ import pytest
 
 from repro.core.database import Database
 from repro.core.options import QueryOptions
-from repro.planner import clear_plan_cache
+from repro import caches
 from repro.relational import cmp, join, rel
 
 
 @pytest.fixture(autouse=True)
 def fresh_plan_cache():
-    clear_plan_cache()
+    caches.get("plans").clear()
     yield
-    clear_plan_cache()
+    caches.get("plans").clear()
 
 
 def make_db(seed: int = 11) -> Database:
@@ -80,7 +80,7 @@ def test_disabled_synopses_bit_identical_to_baseline(vectorized, expr, quota):
     # Populate the catalog so there is real state that *could* leak in.
     db.estimate(expr, quota=quota, seed=99, options=QueryOptions(synopses=True))
     assert db.synopses.info().answers >= 1
-    clear_plan_cache()
+    caches.get("plans").clear()
     with_state = run_signature(
         db, expr, quota, seed=5, vectorized=vectorized, synopses=False
     )

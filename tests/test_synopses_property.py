@@ -16,15 +16,15 @@ import pytest
 from repro.core.database import Database
 from repro.core.options import QueryOptions
 from repro.estimation.selectivity import SelectivityTracker
-from repro.planner import clear_plan_cache
+from repro import caches
 from repro.relational import cmp, count_exact, rel
 
 
 @pytest.fixture(autouse=True)
 def fresh_plan_cache():
-    clear_plan_cache()
+    caches.get("plans").clear()
     yield
-    clear_plan_cache()
+    caches.get("plans").clear()
 
 
 priors = st.tuples(
