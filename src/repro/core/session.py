@@ -42,7 +42,12 @@ from repro.faults.injector import FaultInjector
 from repro.observability.trace import NULL_SINK, TraceSink
 from repro.relational.expression import Expression
 from repro.storage.heapfile import DEFAULT_BLOCK_SIZE
-from repro.timecontrol.executor import RunReport, TimeConstrainedExecutor
+from repro.timecontrol.executor import (
+    Checkpoint,
+    RunReport,
+    SuspendedRun,
+    TimeConstrainedExecutor,
+)
 from repro.timecontrol.stopping import StoppingCriterion
 from repro.timecontrol.strategies import OneAtATimeInterval, TimeControlStrategy
 from repro.timekeeping.charger import CostCharger
@@ -146,6 +151,7 @@ class QuerySession:
             sink=context.sink,
         )
         self._result: QueryResult | None = None
+        self._suspended: SuspendedRun | None = None
 
     # ------------------------------------------------------------------
     # Convenience views
@@ -175,6 +181,16 @@ class QuerySession:
     def finished(self) -> bool:
         return self._result is not None
 
+    @property
+    def suspended(self) -> bool:
+        """True while the run is parked at a stage boundary."""
+        return self._suspended is not None
+
+    @property
+    def suspended_state(self) -> SuspendedRun | None:
+        """The checkpoint token, for inspection while parked."""
+        return self._suspended
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -185,21 +201,73 @@ class QuerySession:
         are that run's record. Re-running would silently continue the same
         sample — open a fresh session instead.
         """
+        result = self.run_preemptible(checkpoint=None)
+        assert result is not None  # no checkpoint → can never suspend
+        return result
+
+    def run_preemptible(
+        self, checkpoint: Checkpoint | None = None
+    ) -> QueryResult | None:
+        """Like :meth:`run`, but suspendable at stage boundaries.
+
+        When ``checkpoint`` answers ``True`` between stages the session
+        parks instead of finishing: this returns ``None``,
+        :attr:`suspended` flips on, and :meth:`resume` continues the run
+        later — bit-identically, since suspension charges nothing and
+        draws no randomness. Without a checkpoint this is exactly
+        :meth:`run`.
+        """
         if self._result is not None:
             raise ReproError(
                 "this QuerySession already ran; open a new session "
                 "(sessions are single-use so runs stay independent)"
             )
+        if self._suspended is not None:
+            raise ReproError(
+                "this QuerySession is suspended; continue it with "
+                "resume() instead of starting a fresh run"
+            )
         try:
-            report = self.executor.run(self.quota)
+            out = self.executor.run(self.quota, checkpoint=checkpoint)
         except ReproError as exc:
             # Anything that escapes the executor carries where it happened.
             raise exc.with_context(
                 stage=self.plan.stages_completed + 1, session=self.label
             )
-        self._result = QueryResult(report=report)
+        return self._absorb(out)
+
+    def resume(
+        self, checkpoint: Checkpoint | None = None
+    ) -> QueryResult | None:
+        """Continue a suspended run; may suspend again.
+
+        The executor restores the suspension snapshot and re-arms the
+        original absolute deadline, so time spent parked has already been
+        deducted from the budget — exactly like queue wait before the
+        first dispatch.
+        """
+        if self._suspended is None:
+            raise ReproError(
+                "this QuerySession is not suspended; nothing to resume"
+            )
+        suspended, self._suspended = self._suspended, None
+        try:
+            out = self.executor.resume(suspended, checkpoint=checkpoint)
+        except ReproError as exc:
+            raise exc.with_context(
+                stage=self.plan.stages_completed + 1, session=self.label
+            )
+        return self._absorb(out)
+
+    def _absorb(self, out: RunReport | SuspendedRun) -> QueryResult | None:
+        """File the executor's outcome: park, or finalize the result."""
+        if isinstance(out, SuspendedRun):
+            self._suspended = out
+            return None
+        self._result = QueryResult(report=out)
         if self.binder is not None:
             # Deposit the run's evidence into the synopsis catalog, keyed
-            # by the query as written (pre-optimizer).
-            self.binder.absorb_run(self.plan, report, self.expr)
+            # by the query as written (pre-optimizer). Only terminal runs
+            # deposit — a parked session's evidence is still in flight.
+            self.binder.absorb_run(self.plan, out, self.expr)
         return self._result

@@ -10,7 +10,9 @@ comparison, CI matrix legs, and bit-identity regression runs:
 * ``REPRO_SYNOPSES`` — the cross-query synopsis catalog;
 * ``REPRO_BUFFERPOOL`` — the decoded-block buffer pool;
 * ``REPRO_PARTITIONS`` — sharded execution over partitioned relations
-  (an integer value also sets the shard worker count).
+  (an integer value also sets the shard worker count);
+* ``REPRO_PREEMPT`` — the query server's stage-boundary EDF preemption
+  (default off; off is byte-identical to run-to-completion serving).
 
 All switches share one resolution rule, implemented here once: an explicit
 per-session value beats the :class:`~repro.core.options.QueryOptions`
@@ -187,6 +189,15 @@ SWITCHES: tuple[Switch, ...] = (
         env="REPRO_PARTITIONS",
         default=(True, 1),
         default_label="on, 1 worker",
+    ),
+    Switch(
+        name="preempt",
+        title="EDF preemption",
+        option="preempt",
+        option_note=" (`QueryServer` kwarg)",
+        env="REPRO_PREEMPT",
+        default=False,
+        default_label="off",
     ),
 )
 

@@ -32,12 +32,15 @@ from repro.server.admission import (
 from repro.server.degrade import degraded_estimate, synopsis_degraded_estimate
 from repro.server.events import (
     AdmissionDecided,
+    QueryPreempted,
+    QueryResumed,
     RequestArrived,
     RequestCompleted,
     RequestRetried,
     RequestStarted,
 )
 from repro.server.metrics import BucketHistogram, ServerMetrics
+from repro.server.preempt import PreemptDecision, should_preempt
 from repro.server.request import Outcome, QueryRequest, RequestOutcome
 from repro.server.scheduler import QueryServer
 from repro.server.workload import (
@@ -59,7 +62,10 @@ __all__ = [
     "DegradeInfeasible",
     "FeasibilityReport",
     "Outcome",
+    "PreemptDecision",
+    "QueryPreempted",
     "QueryRequest",
+    "QueryResumed",
     "QueryServer",
     "RejectInfeasible",
     "RequestArrived",
@@ -75,4 +81,5 @@ __all__ = [
     "open_loop_requests",
     "run_closed_loop",
     "selection_mix",
+    "should_preempt",
 ]

@@ -50,9 +50,14 @@ class FeasibilityReport:
 
     ``budget_now`` is the time between now and the request's absolute
     deadline; ``projected_wait`` is the expected queue delay in front of it
-    (work with earlier effective deadlines); their difference is the budget
-    the request will actually have when dispatched, to be compared against
-    ``min_stage_cost`` — the cost-model price of the cheapest useful stage.
+    (work with earlier effective deadlines, accumulated in dispatch order
+    so each ticket's spend is priced at the clock position its turn would
+    start); their difference is the budget the request will actually have
+    when dispatched, to be compared against ``min_stage_cost`` — the
+    cost-model price of the cheapest useful stage. Under preemption
+    (``REPRO_PREEMPT``) the same projection covers mid-flight arrivals: a
+    request that would preempt the runner excludes the runner's residual
+    spend from its wait, while one that would queue behind it includes it.
     """
 
     min_stage_cost: float

@@ -88,6 +88,39 @@ class RequestRetried(TraceEvent):
 
 @register_event_type
 @dataclass(frozen=True)
+class QueryPreempted(TraceEvent):
+    """A running request was checkpointed at a stage boundary and parked.
+
+    Fired only with the ``REPRO_PREEMPT`` switch on, when a
+    strictly-earlier-deadline admitted request is waiting and the runner
+    still has slack. The suspended run keeps its seed material and charged
+    costs; resuming it is bit-identical to never having stopped.
+    """
+
+    kind: ClassVar[str] = "query_preempted"
+    request_id: str = ""
+    challenger_id: str = ""
+    stages_completed: int = 0
+    residual_budget: float = 0.0
+    clock: float = 0.0
+
+
+@register_event_type
+@dataclass(frozen=True)
+class QueryResumed(TraceEvent):
+    """A parked request won the queue again and continued from its
+    checkpoint, against its original absolute deadline."""
+
+    kind: ClassVar[str] = "query_resumed"
+    request_id: str = ""
+    stages_completed: int = 0
+    residual_budget: float = 0.0
+    preemptions: int = 0
+    clock: float = 0.0
+
+
+@register_event_type
+@dataclass(frozen=True)
 class RequestCompleted(TraceEvent):
     """A request reached its terminal outcome (one per request, always)."""
 

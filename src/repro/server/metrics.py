@@ -20,6 +20,8 @@ from typing import Sequence
 from repro.observability.trace import TraceEvent
 from repro.server.events import (
     AdmissionDecided,
+    QueryPreempted,
+    QueryResumed,
     RequestArrived,
     RequestCompleted,
 )
@@ -97,6 +99,9 @@ class ServerMetrics:
         self.buffer_misses = 0
         self.buffer_evictions = 0
         self.buffer_invalidations = 0
+        # Stage-boundary EDF preemption (REPRO_PREEMPT; zero when off).
+        self.preempted = 0
+        self.resumed = 0
 
     # ------------------------------------------------------------------
     # TraceSink
@@ -118,6 +123,10 @@ class ServerMetrics:
             self.buffer_evictions += 1
         elif isinstance(event, BufferInvalidated):
             self.buffer_invalidations += event.entries
+        elif isinstance(event, QueryPreempted):
+            self.preempted += 1
+        elif isinstance(event, QueryResumed):
+            self.resumed += 1
         elif isinstance(event, RequestCompleted):
             self.outcomes[Outcome(event.outcome)] += 1
             self.queue_wait_total += event.queue_wait
@@ -187,6 +196,8 @@ class ServerMetrics:
             "buffer_evictions": self.buffer_evictions,
             "buffer_invalidations": self.buffer_invalidations,
             "buffer_hit_ratio": self.buffer_hit_ratio,
+            "preempted": self.preempted,
+            "resumed": self.resumed,
         }
 
     def render(self) -> str:
@@ -212,6 +223,11 @@ class ServerMetrics:
             f"  mean achieved CI half-width: {self.achieved_ci.mean:.3f} "
             f"over {self.achieved_ci.observed} answers",
         ]
+        if self.preempted or self.resumed:
+            lines.append(
+                f"  preemption: {self.preempted} suspended, "
+                f"{self.resumed} resumed"
+            )
         ratio = self.buffer_hit_ratio
         if ratio is not None:
             lines.append(

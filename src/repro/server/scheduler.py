@@ -28,6 +28,14 @@ The model is a single-server queue on the database's simulated clock:
   live mid-stage interrupt semantics (``measure_overspend=False``), on the
   shared clock and shared cost model. The answer is whatever the last
   completed stage estimated.
+* **Preemption** (``REPRO_PREEMPT``, default off). With the switch on,
+  the runner is checkpointed at stage boundaries: arrivals the run has
+  clocked past are admitted mid-flight, and when a strictly-earlier-
+  deadline ticket is waiting while the runner still has slack
+  (:func:`~repro.server.preempt.should_preempt`), the run suspends —
+  plan snapshot, estimator state, and consumed budget park on its ticket
+  — and is resumed bit-identically when it wins the queue again. Off is
+  byte-identical to run-to-completion serving (invariant 11).
 
 The server *never* raises to the submitting client and never drops a
 request silently: every request ends in exactly one typed
@@ -40,8 +48,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from contextlib import nullcontext
-from dataclasses import dataclass
-from typing import Callable, ContextManager, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, ContextManager, Iterable, Sequence
 
 from repro.core.database import Database
 from repro.core.switches import resolve_switch
@@ -58,12 +66,15 @@ from repro.server.admission import (
 from repro.server.degrade import degraded_estimate, synopsis_degraded_estimate
 from repro.server.events import (
     AdmissionDecided,
+    QueryPreempted,
+    QueryResumed,
     RequestArrived,
     RequestCompleted,
     RequestRetried,
     RequestStarted,
 )
 from repro.server.metrics import ServerMetrics
+from repro.server.preempt import PreemptDecision, should_preempt
 from repro.server.request import Outcome, QueryRequest, RequestOutcome
 from repro.synopses.catalog import relation_fingerprint
 from repro.synopses.events import SynopsisRefreshed
@@ -74,19 +85,40 @@ from repro.timecontrol.strategies import (
 )
 from repro.timekeeping.clock import SimulatedClock
 
+if TYPE_CHECKING:
+    from repro.core.session import QuerySession
+
 OnComplete = Callable[[RequestOutcome], "QueryRequest | None"]
 
 
 @dataclass(order=True)
 class _Ticket:
-    """One admitted request waiting in the run queue (heap-ordered)."""
+    """One admitted request waiting in the run queue (heap-ordered).
+
+    Only the EDF key — ``(priority, deadline, seq)`` — participates in
+    ordering. The payload fields are ``compare=False``: a key tie (same
+    priority and deadline, e.g. a preempted ticket re-queued next to an
+    equal-deadline arrival) must break on ``seq``, not fall through to
+    comparing ``QueryRequest`` payloads and raising ``TypeError``.
+    """
 
     priority: int
     deadline: float
     seq: int
-    request: QueryRequest = None  # type: ignore[assignment]
-    arrival: float = 0.0
-    min_cost: float = 0.0
+    request: QueryRequest = field(default=None, compare=False)  # type: ignore[assignment]
+    arrival: float = field(default=0.0, compare=False)
+    min_cost: float = field(default=0.0, compare=False)
+    # Suspension state — populated only while parked by a preemption
+    # (REPRO_PREEMPT): the checkpointed session plus the accounting
+    # banked at first dispatch, so the resumed run reports the same
+    # queue_wait/started_at/budget an uninterrupted run would have.
+    session: "QuerySession | None" = field(default=None, compare=False)
+    attempt: int = field(default=0, compare=False)
+    preemptions: int = field(default=0, compare=False)
+    queue_wait: float = field(default=0.0, compare=False)
+    started_at: float = field(default=0.0, compare=False)
+    budget: float = field(default=0.0, compare=False)
+    decision: "PreemptDecision | None" = field(default=None, compare=False)
 
     def planned_spend(self, now: float) -> float:
         """How long this ticket will occupy the server once dispatched.
@@ -138,6 +170,12 @@ class QueryServer:
         the feasibility floor reflects the shorter wall-clock slot a
         sharded scan actually occupies; charged simulated costs are
         unaffected (invariant 10).
+    preempt:
+        ``None`` → honour ``REPRO_PREEMPT`` (default off). When on,
+        dispatched queries may be suspended at stage boundaries in favour
+        of strictly-earlier-deadline arrivals and resumed bit-identically
+        later (see :mod:`repro.server.preempt`); when off the server is
+        byte-identical to the run-to-completion scheduler.
     """
 
     def __init__(
@@ -154,6 +192,7 @@ class QueryServer:
         synopses: bool | None = None,
         bufferpool: bool | None = None,
         shard_parallelism: float = 1.0,
+        preempt: bool | None = None,
     ) -> None:
         if database.clock_kind != "simulated":
             raise ValueError(
@@ -215,6 +254,7 @@ class QueryServer:
             self._pool = default_pool()
         else:
             self._pool = None
+        self.preempt = resolve_switch(preempt, "REPRO_PREEMPT", default=False)
         self._seq = itertools.count()
         self._refresh_counter = itertools.count(1)
         self.outcomes: list[RequestOutcome] = []
@@ -264,7 +304,11 @@ class QueryServer:
                 if not queue:
                     continue
                 ticket = heapq.heappop(queue)
-                finish(self._dispatch(ticket))
+                # None means the runner was preempted and re-queued —
+                # its terminal outcome comes from a later dispatch.
+                outcome = self._dispatch(ticket, queue, arrivals, finish)
+                if outcome is not None:
+                    finish(outcome)
         return produced
 
     def _pool_routing(self) -> ContextManager:
@@ -347,6 +391,7 @@ class QueryServer:
         request: QueryRequest,
         queue: list[_Ticket],
         finish: Callable[[RequestOutcome], None],
+        running: _Ticket | None = None,
     ) -> None:
         now = self.clock.now()
         deadline = request.deadline
@@ -374,7 +419,9 @@ class QueryServer:
                 )
             )
             return
-        projected_wait = self._projected_wait(request, deadline, queue, now)
+        projected_wait = self._projected_wait(
+            request, deadline, queue, now, running=running
+        )
         feasibility = FeasibilityReport(
             min_stage_cost=min_cost,
             projected_wait=projected_wait,
@@ -417,14 +464,34 @@ class QueryServer:
         deadline: float,
         queue: Sequence[_Ticket],
         now: float,
+        running: _Ticket | None = None,
     ) -> float:
-        """Expected queue delay: planned spend of work dispatched first."""
+        """Expected queue delay: planned spend of work dispatched first.
+
+        Spends accumulate in dispatch (EDF) order — each ticket's spend
+        is priced at the clock position *its* turn would start, the same
+        arithmetic :meth:`_shed_overload` uses. (Summing every spend at a
+        fixed ``now`` instead, as this method once did, over-prices the
+        queue: a later ticket's spend is capped by a deadline that has
+        drifted closer by the time its turn comes, so admission
+        over-estimated wait and over-rejected under load.)
+
+        ``running`` is the mid-flight ticket when admission happens at a
+        preemption checkpoint: it occupies the server ahead of this
+        arrival unless the arrival's EDF key would preempt it.
+        """
         key = (request.priority, deadline)
-        return sum(
-            ticket.planned_spend(now)
+        projected = now
+        if running is not None and (running.priority, running.deadline) <= key:
+            projected += running.planned_spend(projected)
+        ahead = sorted(
+            ticket
             for ticket in queue
             if (ticket.priority, ticket.deadline) <= key
         )
+        for ticket in ahead:
+            projected += ticket.planned_spend(projected)
+        return projected - now
 
     def _decide_event(
         self,
@@ -604,6 +671,15 @@ class QueryServer:
         keep: list[_Ticket] = []
         projected = now
         for ticket in sorted(queue):
+            if ticket.session is not None:
+                # A parked (preempted) ticket has banked stages and a
+                # live estimate; shedding it would discard work the clock
+                # already paid for. It keeps its slot — resume finalizes
+                # it even with no budget left — and its residual spend
+                # stays in the projection for the tickets behind it.
+                keep.append(ticket)
+                projected += ticket.planned_spend(projected)
+                continue
             budget_at_turn = ticket.deadline - projected
             if budget_at_turn < ticket.min_cost:
                 shed.append(
@@ -628,61 +704,171 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Dispatch and execution
     # ------------------------------------------------------------------
-    def _dispatch(self, ticket: _Ticket) -> RequestOutcome:
-        request = ticket.request
+    def _checkpoint_hook(
+        self,
+        ticket: _Ticket,
+        queue: list[_Ticket],
+        arrivals: list[QueryRequest],
+        finish: Callable[[RequestOutcome], None],
+    ) -> Callable:
+        """Build the stage-boundary callback for one dispatched ticket.
+
+        The executor calls it *between* stages. First any arrivals the run
+        has clocked past are admitted mid-flight (their deadlines are
+        absolute, so the wait they already suffered is charged by the
+        clock alone); then the slack-aware policy rules. ``True`` tells
+        the executor to suspend.
+        """
+
+        def checkpoint(report) -> bool:
+            now = self.clock.now()
+            while arrivals and arrivals[0].arrival <= now:
+                self._on_arrival(
+                    arrivals.pop(0), queue, finish, running=ticket
+                )
+            decision = should_preempt(ticket, queue, now)
+            if decision is None:
+                return False
+            ticket.decision = decision
+            return True
+
+        return checkpoint
+
+    def _park(
+        self,
+        ticket: _Ticket,
+        session: "QuerySession",
+        attempt: int,
+        queue: list[_Ticket],
+    ) -> None:
+        """Stash the suspended session on its ticket and re-queue it.
+
+        The ticket keeps its EDF key (and original ``seq``, so key ties
+        still break by admission order); the challenger, whose key is
+        strictly earlier, is dispatched first. Returns ``None`` — the
+        ticket's terminal outcome comes from a later dispatch.
+        """
         now = self.clock.now()
-        queue_wait = now - ticket.arrival
-        budget = ticket.deadline - now
-        if budget <= 0 or (
-            self.policy.enforce_at_dispatch and budget < ticket.min_cost
-        ):
-            outcome = (
-                Outcome.SHED
-                if self.policy.enforce_at_dispatch
-                else Outcome.MISSED
-            )
-            return self._finish_unrun(
-                request,
-                outcome,
-                f"budget exhausted in queue: {budget:.3f}s left of "
-                f"{request.quota:g}s quota after {queue_wait:.3f}s wait",
-                queue_wait=queue_wait,
-                admitted=True,
-            )
+        ticket.session = session
+        ticket.attempt = attempt
+        ticket.preemptions += 1
+        decision, ticket.decision = ticket.decision, None
         self.sink.emit(
-            RequestStarted(
-                request_id=request.request_id,
-                queue_wait=queue_wait,
-                budget=budget,
+            QueryPreempted(
+                request_id=ticket.request.request_id,
+                challenger_id=(
+                    decision.challenger_id if decision is not None else ""
+                ),
+                stages_completed=session.plan.stages_completed,
+                residual_budget=max(ticket.deadline - now, 0.0),
                 clock=now,
             )
         )
+        heapq.heappush(queue, ticket)
+        return None
+
+    def _dispatch(
+        self,
+        ticket: _Ticket,
+        queue: list[_Ticket],
+        arrivals: list[QueryRequest],
+        finish: Callable[[RequestOutcome], None],
+    ) -> RequestOutcome | None:
+        request = ticket.request
+        now = self.clock.now()
+        if ticket.session is not None:
+            # A parked run: admission, RequestStarted, and the budget
+            # question were all settled at first dispatch. Resume always —
+            # even with the deadline past, the executor finalizes the
+            # banked estimate instead of discarding paid-for work.
+            queue_wait = ticket.queue_wait
+            started = ticket.started_at
+            budget = ticket.budget
+        else:
+            queue_wait = now - ticket.arrival
+            budget = ticket.deadline - now
+            if budget <= 0 or (
+                self.policy.enforce_at_dispatch and budget < ticket.min_cost
+            ):
+                outcome = (
+                    Outcome.SHED
+                    if self.policy.enforce_at_dispatch
+                    else Outcome.MISSED
+                )
+                return self._finish_unrun(
+                    request,
+                    outcome,
+                    f"budget exhausted in queue: {budget:.3f}s left of "
+                    f"{request.quota:g}s quota after {queue_wait:.3f}s wait",
+                    queue_wait=queue_wait,
+                    admitted=True,
+                )
+            self.sink.emit(
+                RequestStarted(
+                    request_id=request.request_id,
+                    queue_wait=queue_wait,
+                    budget=budget,
+                    clock=now,
+                )
+            )
+            started = now
+            ticket.queue_wait = queue_wait
+            ticket.started_at = started
+            ticket.budget = budget
+        checkpoint = (
+            self._checkpoint_hook(ticket, queue, arrivals, finish)
+            if self.preempt
+            else None
+        )
         result = None
         failure: str | None = None
-        attempt = 0
+        attempt = ticket.attempt
         while True:
-            remaining = ticket.deadline - self.clock.now()
-            attempt_quota = min(max(remaining, 0.0), budget)
-            if attempt_quota <= 0:
-                break
+            session = None
+            if ticket.session is not None:
+                session, ticket.session = ticket.session, None
+                self.sink.emit(
+                    QueryResumed(
+                        request_id=request.request_id,
+                        stages_completed=session.plan.stages_completed,
+                        residual_budget=max(
+                            ticket.deadline - self.clock.now(), 0.0
+                        ),
+                        preemptions=ticket.preemptions,
+                        clock=self.clock.now(),
+                    )
+                )
+            else:
+                remaining = ticket.deadline - self.clock.now()
+                attempt_quota = min(max(remaining, 0.0), budget)
+                if attempt_quota <= 0:
+                    break
             result = None
             failure = None
             transient = False
             try:
-                session = self.database.open_session(
-                    request.expr,
-                    quota=attempt_quota,
-                    strategy=self.strategy_factory(),
-                    stopping=HardDeadline(),
-                    measure_overspend=False,
-                    aggregate=request.aggregate,
-                    cost_model=self._cost_model,
-                    seed=self._retry_seed(request.seed, attempt),
-                    clock=self.clock,
-                    sink=self.sink if self.trace_queries else None,
-                    **self._session_overrides(),
-                )
-                result = session.run()
+                if session is not None:
+                    out = session.resume(checkpoint=checkpoint)
+                else:
+                    session = self.database.open_session(
+                        request.expr,
+                        quota=attempt_quota,
+                        strategy=self.strategy_factory(),
+                        stopping=HardDeadline(),
+                        measure_overspend=False,
+                        aggregate=request.aggregate,
+                        cost_model=self._cost_model,
+                        seed=self._retry_seed(request.seed, attempt),
+                        clock=self.clock,
+                        sink=self.sink if self.trace_queries else None,
+                        **self._session_overrides(),
+                    )
+                    out = session.run_preemptible(checkpoint=checkpoint)
+                if out is None:
+                    # The checkpoint accepted a preemption: park and hand
+                    # the server to the earlier-deadline challenger.
+                    return self._park(ticket, session, attempt, queue)
+                result = out
             except StorageError as exc:
                 # A fault that escaped salvage (no injector armed, or a real
                 # storage failure) is worth one deterministic re-execution.
@@ -698,9 +884,18 @@ class QueryServer:
                 transient = result.faulted
             if not transient or attempt >= self.max_fault_retries:
                 break
-            attempt += 1
             remaining = ticket.deadline - self.clock.now()
-            backoff = min(self.retry_backoff * attempt, max(remaining, 0.0))
+            backoff = min(
+                self.retry_backoff * (attempt + 1), max(remaining, 0.0)
+            )
+            if remaining - backoff <= 0:
+                # The backoff would eat everything that is left: no retry
+                # could run afterwards, so charging it (and emitting a
+                # RequestRetried that promises an attempt) would be pure
+                # waste. Terminal classification proceeds from this
+                # attempt's evidence.
+                break
+            attempt += 1
             self.sink.emit(
                 RequestRetried(
                     request_id=request.request_id,
@@ -718,15 +913,34 @@ class QueryServer:
                 self.clock.advance(backoff)
         finished = self.clock.now()
         if failure is not None:
-            outcome = RequestOutcome(
-                request=request,
-                outcome=Outcome.MISSED,
-                reason=f"execution failed: {failure}",
-                admitted=True,
-                queue_wait=queue_wait,
-                started_at=now,
-                finished_at=finished,
-            )
+            # Persistent failure: same zero-sampling fallback the faulted
+            # branch below gets — a crash-eaten run and a fault-eaten run
+            # deserve the same degraded answer when coverage exists.
+            fallback, source = self._zero_sampling_estimate(request)
+            if fallback is not None:
+                outcome = RequestOutcome(
+                    request=request,
+                    outcome=Outcome.DEGRADED,
+                    reason=(
+                        f"execution failed ({failure}); "
+                        f"zero-sampling {source} answer"
+                    ),
+                    admitted=True,
+                    queue_wait=queue_wait,
+                    started_at=started,
+                    finished_at=finished,
+                    estimate=fallback,
+                )
+            else:
+                outcome = RequestOutcome(
+                    request=request,
+                    outcome=Outcome.MISSED,
+                    reason=f"execution failed: {failure}",
+                    admitted=True,
+                    queue_wait=queue_wait,
+                    started_at=started,
+                    finished_at=finished,
+                )
         elif result is None or result.estimate is None:
             fallback = source = None
             if result is not None and result.faulted:
@@ -741,7 +955,7 @@ class QueryServer:
                     ),
                     admitted=True,
                     queue_wait=queue_wait,
-                    started_at=now,
+                    started_at=started,
                     finished_at=finished,
                     result=result,
                     estimate=fallback,
@@ -759,7 +973,7 @@ class QueryServer:
                     ),
                     admitted=True,
                     queue_wait=queue_wait,
-                    started_at=now,
+                    started_at=started,
                     finished_at=finished,
                     result=result,
                 )
@@ -773,7 +987,7 @@ class QueryServer:
                 ),
                 admitted=True,
                 queue_wait=queue_wait,
-                started_at=now,
+                started_at=started,
                 finished_at=finished,
                 result=result,
             )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.costmodel import steps as step_names
 from repro.engine.plan import StagedPlan
@@ -143,6 +144,50 @@ class RunReport:
         return sum(s.blocks_read for s in self.stages)
 
 
+Checkpoint = Callable[[RunReport], bool]
+"""Stage-boundary hook: return ``True`` to suspend the run (see
+:meth:`TimeConstrainedExecutor.run`). Called with the partial report
+*between* stages only — never mid-stage — and only after at least one
+stage has completed, so a suspended run always has a consistent
+last-completed-stage estimate to fall back on."""
+
+
+@dataclass
+class SuspendedRun:
+    """A run paused at a stage boundary, resumable bit-identically.
+
+    Produced by :meth:`TimeConstrainedExecutor.run` when its ``checkpoint``
+    callback asks to suspend. Everything the continuation needs is here:
+    the partial :class:`RunReport` (stages completed so far, all still
+    charged), the absolute ``deadline`` (queue wait while suspended keeps
+    eating the budget — the paper's time-quota semantics applied to
+    preemption), the estimator/tracker state as a plan snapshot ``token``
+    (:meth:`~repro.engine.plan.StagedPlan.snapshot` — restored on resume so
+    nothing that happened while parked can leak into the continuation), and
+    the consumed-budget accounting. Suspension itself charges nothing and
+    draws no randomness, which is what makes a suspended-then-resumed run
+    bit-identical to an uninterrupted one when the clock did not move in
+    between.
+    """
+
+    report: RunReport
+    deadline: float
+    token: dict
+    estimates: list[Estimate]
+    stage_retries: int
+    consumed: float
+    suspended_at: float
+
+    @property
+    def stages_completed(self) -> int:
+        """Stages banked before suspension (the resumable prefix)."""
+        return len(self.report.stages)
+
+    def residual_budget(self, now: float) -> float:
+        """Budget left if resumed at ``now`` (the deadline is absolute)."""
+        return max(self.deadline - now, 0.0)
+
+
 class TimeConstrainedExecutor:
     """Runs one staged plan under a quota with a strategy and a criterion."""
 
@@ -165,22 +210,30 @@ class TimeConstrainedExecutor:
         # Default to the plan's sink so one wiring point traces the whole run.
         self.sink: TraceSink = sink if sink is not None else plan.sink
 
-    def run(self, quota: float) -> RunReport:
-        """Evaluate the plan's COUNT within ``quota`` seconds."""
+    def run(
+        self, quota: float, checkpoint: Checkpoint | None = None
+    ) -> RunReport | SuspendedRun:
+        """Evaluate the plan's COUNT within ``quota`` seconds.
+
+        Without ``checkpoint`` the return value is always a terminal
+        :class:`RunReport` (the pre-existing contract, bit-for-bit).
+        With a ``checkpoint`` callback the executor becomes preemptible:
+        the callback is consulted at every stage boundary (after at least
+        one stage completed) and a ``True`` answer suspends the run —
+        the method then returns a :class:`SuspendedRun` instead of a
+        report, to be continued later with :meth:`resume`. Suspension
+        happens only between stages, charges nothing, and consumes no
+        randomness, so it never perturbs the estimate.
+        """
         if quota <= 0:
             raise TimeControlError(f"quota must be positive: {quota}")
-        charger: CostCharger = self.plan.charger
-        clock = charger.clock
+        clock = self.plan.charger.clock
         start = clock.now()
-        deadline = start + quota
         report = RunReport(
             quota=quota,
             started_at=start,
             aggregate=self.plan.aggregate.kind,
         )
-        live_hard = self.stopping.hard and not self.measure_overspend
-        if math.isfinite(deadline):
-            charger.arm(deadline, hard=live_hard)
         self.sink.emit(
             QueryStart(
                 quota=quota,
@@ -190,100 +243,77 @@ class TimeConstrainedExecutor:
                 clock=start,
             )
         )
+        return self._drive(
+            report,
+            deadline=start + quota,
+            estimates=[],
+            stage_retries=0,
+            checkpoint=checkpoint,
+            consumed=0.0,
+        )
 
-        estimates: list[Estimate] = []
-        injector = self.plan.injector
-        stage_retries = 0  # consecutive salvaged attempts of the current stage
+    def resume(
+        self,
+        suspended: SuspendedRun,
+        checkpoint: Checkpoint | None = None,
+    ) -> RunReport | SuspendedRun:
+        """Continue a :class:`SuspendedRun` against its original deadline.
+
+        The plan is rolled back to the suspension snapshot first (a no-op
+        when nothing touched it while parked — the normal case — but a
+        hard guarantee that foreign state cannot leak in), the deadline is
+        re-armed, and the stage loop picks up exactly where it stopped:
+        same stage numbering, same estimator history, same RNG stream
+        position. Time that passed while suspended is already gone from
+        the budget (the deadline is absolute), mirroring how queue wait is
+        charged before the first dispatch. May suspend again if
+        ``checkpoint`` asks to.
+        """
+        self.plan.restore(suspended.token)
+        return self._drive(
+            suspended.report,
+            deadline=suspended.deadline,
+            estimates=suspended.estimates,
+            stage_retries=suspended.stage_retries,
+            checkpoint=checkpoint,
+            consumed=suspended.consumed,
+        )
+
+    def _drive(
+        self,
+        report: RunReport,
+        deadline: float,
+        estimates: list[Estimate],
+        stage_retries: int,
+        checkpoint: Checkpoint | None,
+        consumed: float,
+    ) -> RunReport | SuspendedRun:
+        """Arm the deadline, run the stage loop, finalize or suspend."""
+        charger: CostCharger = self.plan.charger
+        clock = charger.clock
+        segment_start = clock.now()
+        live_hard = self.stopping.hard and not self.measure_overspend
+        # A resumed run whose budget evaporated in the queue skips arming:
+        # the loop terminates immediately with the banked estimate.
+        if math.isfinite(deadline) and deadline >= segment_start:
+            charger.arm(deadline, hard=live_hard)
+        suspend = False
         try:
-            while len(report.stages) < self.max_stages:
-                now = clock.now()
-                remaining = deadline - now
-                if remaining <= 0:
-                    report.termination = "deadline"
-                    break
-                if self.plan.all_exhausted():
-                    report.termination = "exhausted"
-                    break
-                fraction = self.strategy.choose_fraction(
-                    self.plan, remaining, self.plan.stages_completed + 1
-                )
-                if fraction is None:
-                    report.termination = "no_feasible_stage"
-                    break
-                self.sink.emit(
-                    StageStart(
-                        stage=self.plan.stages_completed + 1,
-                        fraction=fraction,
-                        remaining_seconds=remaining,
-                        clock=now,
-                    )
-                )
-                # Snapshots are taken only when faults can actually fire, so
-                # unfaulted runs pay nothing and stay bit-identical.
-                token = None
-                if injector is not None:
-                    injector.begin_stage(self.plan.stages_completed + 1)
-                    token = self.plan.snapshot()
-                attempt_started = clock.now()
-                try:
-                    stage_report = self._run_stage(fraction, deadline)
-                except (StorageError, SamplingExhausted) as fault:
-                    if token is None:
-                        raise
-                    salvaged = self._salvage(
-                        report, fault, token, attempt_started, stage_retries
-                    )
-                    if not salvaged:
-                        report.termination = "degraded"
-                        break
-                    stage_retries += 1
-                    continue
-                stage_retries = 0
-                report.stages.append(stage_report)
-                if stage_report.aborted_mid_stage:
-                    report.termination = "interrupted"
-                    self.sink.emit(
-                        DeadlineAbort(
-                            stage=stage_report.index,
-                            deadline=deadline,
-                            clock=clock.now(),
-                        )
-                    )
-                    self._emit_stage_end(stage_report)
-                    break
-                if isinstance(self.strategy, FixedFractionHeuristic):
-                    self.strategy.note_stage(
-                        stage_report.duration, stage_report.blocks_read
-                    )
-                estimate = self.plan.estimate()
-                stage_report.estimate = estimate
-                estimates.append(estimate)
-                self._emit_stage_end(stage_report)
-                if stage_report.completed_in_time:
-                    report.estimate = estimate
-                else:
-                    report.estimate_with_overrun = estimate
-                    report.termination = "deadline"
-                    break
-                self._notify_stage_duration(stage_report.duration)
-                state = StopState(
-                    stage=stage_report.index,
-                    remaining_seconds=deadline - clock.now(),
-                    estimate=estimate,
-                    estimate_history=estimates,
-                    elapsed_seconds=clock.now() - start,
-                )
-                if self.stopping.should_stop(state):
-                    report.termination = (
-                        "deadline"
-                        if state.remaining_seconds <= 0
-                        else "stopping_criterion"
-                    )
-                    break
-            else:
-                report.termination = "max_stages"
+            suspend, stage_retries = self._loop(
+                report, deadline, estimates, stage_retries, checkpoint
+            )
         finally:
             charger.disarm()
+        if suspend:
+            return SuspendedRun(
+                report=report,
+                deadline=deadline,
+                token=self.plan.snapshot(),
+                estimates=estimates,
+                stage_retries=stage_retries,
+                consumed=consumed + (clock.now() - segment_start),
+                suspended_at=clock.now(),
+            )
         report.peak_temp_tuples = self.plan.spool.peak_tuples
         if report.estimate_with_overrun is None:
             report.estimate_with_overrun = report.estimate
@@ -299,10 +329,118 @@ class TimeConstrainedExecutor:
                 estimate_variance=(
                     report.estimate.variance if report.estimate else None
                 ),
-                elapsed_seconds=clock.now() - start,
+                elapsed_seconds=consumed + (clock.now() - segment_start),
             )
         )
         return report
+
+    def _loop(
+        self,
+        report: RunReport,
+        deadline: float,
+        estimates: list[Estimate],
+        stage_retries: int,
+        checkpoint: Checkpoint | None,
+    ) -> tuple[bool, int]:
+        """The Figure 3.1 while-loop; ``(True, retries)`` = suspend."""
+        clock = self.plan.charger.clock
+        injector = self.plan.injector
+        while len(report.stages) < self.max_stages:
+            # The preemption point: between stages only, never before the
+            # first stage has banked an estimate, and costing nothing.
+            if (
+                checkpoint is not None
+                and report.stages
+                and checkpoint(report)
+            ):
+                return True, stage_retries
+            now = clock.now()
+            remaining = deadline - now
+            if remaining <= 0:
+                report.termination = "deadline"
+                break
+            if self.plan.all_exhausted():
+                report.termination = "exhausted"
+                break
+            fraction = self.strategy.choose_fraction(
+                self.plan, remaining, self.plan.stages_completed + 1
+            )
+            if fraction is None:
+                report.termination = "no_feasible_stage"
+                break
+            self.sink.emit(
+                StageStart(
+                    stage=self.plan.stages_completed + 1,
+                    fraction=fraction,
+                    remaining_seconds=remaining,
+                    clock=now,
+                )
+            )
+            # Snapshots are taken only when faults can actually fire, so
+            # unfaulted runs pay nothing and stay bit-identical.
+            token = None
+            if injector is not None:
+                injector.begin_stage(self.plan.stages_completed + 1)
+                token = self.plan.snapshot()
+            attempt_started = clock.now()
+            try:
+                stage_report = self._run_stage(fraction, deadline)
+            except (StorageError, SamplingExhausted) as fault:
+                if token is None:
+                    raise
+                salvaged = self._salvage(
+                    report, fault, token, attempt_started, stage_retries
+                )
+                if not salvaged:
+                    report.termination = "degraded"
+                    break
+                stage_retries += 1
+                continue
+            stage_retries = 0
+            report.stages.append(stage_report)
+            if stage_report.aborted_mid_stage:
+                report.termination = "interrupted"
+                self.sink.emit(
+                    DeadlineAbort(
+                        stage=stage_report.index,
+                        deadline=deadline,
+                        clock=clock.now(),
+                    )
+                )
+                self._emit_stage_end(stage_report)
+                break
+            if isinstance(self.strategy, FixedFractionHeuristic):
+                self.strategy.note_stage(
+                    stage_report.duration, stage_report.blocks_read
+                )
+            estimate = self.plan.estimate()
+            stage_report.estimate = estimate
+            estimates.append(estimate)
+            self._emit_stage_end(stage_report)
+            if stage_report.completed_in_time:
+                report.estimate = estimate
+            else:
+                report.estimate_with_overrun = estimate
+                report.termination = "deadline"
+                break
+            self._notify_stage_duration(stage_report.duration)
+            state = StopState(
+                stage=stage_report.index,
+                remaining_seconds=deadline - clock.now(),
+                estimate=estimate,
+                estimate_history=estimates,
+                elapsed_seconds=clock.now() - report.started_at,
+            )
+            if self.stopping.should_stop(state):
+                report.termination = (
+                    "deadline"
+                    if state.remaining_seconds <= 0
+                    else "stopping_criterion"
+                )
+                break
+        else:
+            report.termination = "max_stages"
+        return False, stage_retries
 
     def _salvage(
         self,

@@ -157,3 +157,95 @@ class TestTotalContractUnderFaults:
             ]
 
         assert run() == run()
+
+
+class TestPersistentFailureFallback:
+    """Retries exhausted with an exception in hand must still try the
+    zero-sampling fallback — the same one fault-defeated runs get.
+    (Regression: the failure branch used to go straight to MISSED.)"""
+
+    @staticmethod
+    def _crash_dispatch_sessions(db, monkeypatch):
+        from repro.errors import StorageError
+
+        real = db.open_session
+
+        def crashing(*args, **kwargs):
+            # Dispatch sessions pass the stopping criterion; admission
+            # probes do not — they must keep working or the request is
+            # rejected before the execution path under test is reached.
+            if "stopping" in kwargs:
+                raise StorageError("device failed mid-dispatch")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(db, "open_session", crashing)
+
+    def test_crashed_execution_degrades_when_coverage_exists(
+        self, db, monkeypatch
+    ):
+        self._crash_dispatch_sessions(db, monkeypatch)
+        server = QueryServer(db, policy=AdmitAll())
+        outcome = server.serve(request())
+        assert outcome.outcome is Outcome.DEGRADED
+        assert outcome.estimate is not None
+        assert "execution failed" in outcome.reason
+        assert "zero-sampling" in outcome.reason
+
+    def test_crashed_execution_misses_without_coverage(
+        self, bare_db, monkeypatch
+    ):
+        self._crash_dispatch_sessions(bare_db, monkeypatch)
+        server = QueryServer(bare_db, policy=AdmitAll())
+        outcome = server.serve(request())
+        assert outcome.outcome is Outcome.MISSED
+        assert outcome.estimate is None
+        assert "execution failed" in outcome.reason
+
+
+class TestRetryBackoffAccounting:
+    def test_final_backoff_not_charged_when_no_attempt_can_follow(self, db):
+        # A backoff that would consume the whole remaining budget buys
+        # nothing: no retry could start after it. The scheduler must not
+        # emit the RequestRetried promise nor burn the clock.
+        sink = RecordingSink()
+        server = make_server(db, LETHAL_PLAN, sink=sink, retry_backoff=10.0)
+        outcome = server.serve(request(quota=2.0))
+        assert sink.of_kind("request_retried") == []
+        assert outcome.outcome is Outcome.DEGRADED
+        assert "1 attempt(s)" in outcome.reason  # only the one that ran
+        # The clock stops where the failed attempt stopped, well before
+        # the deadline the charged backoff would have dragged it to.
+        assert outcome.finished_at < outcome.request.deadline
+
+    def test_charged_backoff_still_precedes_a_real_retry(self, db):
+        sink = RecordingSink()
+        server = make_server(db, LETHAL_PLAN, sink=sink, retry_backoff=0.1)
+        outcome = server.serve(request(quota=2.0))
+        (retry,) = sink.of_kind("request_retried")
+        assert retry.backoff_seconds == pytest.approx(0.1)
+        assert "2 attempt(s)" in outcome.reason
+
+    def test_queue_wait_is_pre_dispatch_wait_only(self, db):
+        # RequestCompleted.queue_wait excludes inter-retry backoff: it is
+        # the arrival → first-dispatch distance, nothing else.
+        sink = RecordingSink()
+        server = make_server(db, LETHAL_PLAN, sink=sink, retry_backoff=0.1)
+        blocker = request(quota=1.0, seed=1, arrival=0.0)
+        waiter = request(quota=2.0, seed=2, arrival=0.2)
+        outcomes = {
+            o.request.request_id: o
+            for o in server.process([blocker, waiter])
+        }
+        waited = outcomes[waiter.request_id]
+        assert waited.queue_wait == pytest.approx(
+            waited.started_at - waiter.arrival
+        )
+        # The backoff happened (clock moved inside the dispatch window)
+        # but is charged to execution, not to the reported wait.
+        assert waited.finished_at - waited.started_at >= 0.1
+        completed = {
+            e.request_id: e for e in sink.of_kind("request_completed")
+        }
+        assert completed[waiter.request_id].queue_wait == pytest.approx(
+            waited.queue_wait
+        )
